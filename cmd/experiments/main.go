@@ -1,0 +1,98 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints a paper-versus-measured headline summary.
+//
+// Usage:
+//
+//	experiments [-fig 1|4|5|6|7|8|9|all] [-warmup N] [-window N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, 9, sweep, headline, or all")
+		warmup = flag.Int64("warmup", 50_000, "warmup cycles per run")
+		window = flag.Int64("window", 400_000, "measurement cycles per run")
+		seed   = flag.Uint64("seed", 0, "trace generator seed")
+		par    = flag.Int("parallel", 8, "concurrent simulations")
+	)
+	flag.Parse()
+
+	r := exp.NewRunner(exp.Config{Warmup: *warmup, Window: *window, Seed: *seed, Parallel: *par})
+	w := os.Stdout
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	switch *fig {
+	case "1":
+		res, err := r.Figure1()
+		if err != nil {
+			fail(err)
+		}
+		res.Render(w)
+	case "4":
+		res, err := r.Figure4()
+		if err != nil {
+			fail(err)
+		}
+		res.Render(w)
+	case "5", "6", "7":
+		res, err := r.TwoCore()
+		if err != nil {
+			fail(err)
+		}
+		switch *fig {
+		case "5":
+			res.RenderFigure5(w)
+		case "6":
+			res.RenderFigure6(w)
+		default:
+			res.RenderFigure7(w)
+		}
+	case "8":
+		res, err := r.Figure8()
+		if err != nil {
+			fail(err)
+		}
+		res.Render(w)
+	case "9":
+		f8, err := r.Figure8()
+		if err != nil {
+			fail(err)
+		}
+		res, err := r.Figure9(f8)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(w)
+	case "sweep":
+		res, err := r.ShareSweep("")
+		if err != nil {
+			fail(err)
+		}
+		res.Render(w)
+	case "headline":
+		rep, err := r.All()
+		if err != nil {
+			fail(err)
+		}
+		rep.Headline().Render(w)
+	case "all":
+		rep, err := r.All()
+		if err != nil {
+			fail(err)
+		}
+		rep.Render(w)
+	default:
+		fail(fmt.Errorf("unknown figure %q", *fig))
+	}
+}

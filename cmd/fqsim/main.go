@@ -1,0 +1,130 @@
+// Command fqsim runs one memory-system simulation: a set of benchmarks
+// sharing a DDR2 memory system under a chosen scheduling policy, with
+// optional non-uniform bandwidth shares.
+//
+// Usage:
+//
+//	fqsim -workload art,vpr -policy FQ-VFTF [-shares 3/4,1/4]
+//	      [-warmup N] [-window N] [-scale K] [-seed N] [-list]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "art,vpr", "comma-separated benchmark names (one per core)")
+		policy   = flag.String("policy", "FQ-VFTF", "scheduler: FCFS, FR-FCFS, FR-VFTF, FQ-VFTF, FR-VSTF")
+		shares   = flag.String("shares", "", "comma-separated per-thread shares like 1/2,1/2 (default: equal)")
+		warmup   = flag.Int64("warmup", 50_000, "warmup cycles")
+		window   = flag.Int64("window", 400_000, "measurement cycles")
+		scale    = flag.Int("scale", 1, "time scale the DRAM (private virtual-time baseline)")
+		seed     = flag.Uint64("seed", 0, "trace generator seed")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		asJSON   = flag.Bool("json", false, "emit results as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks (most memory-aggressive first):")
+		for _, p := range trace.Suite() {
+			fmt.Printf("  %-10s target solo bus utilization %.2f\n", p.Name, p.SoloUtilTarget)
+		}
+		return
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fqsim:", err)
+		os.Exit(1)
+	}
+
+	names := strings.Split(*workload, ",")
+	profiles := make([]trace.Profile, len(names))
+	for i, n := range names {
+		p, err := trace.ByName(strings.TrimSpace(n))
+		if err != nil {
+			fail(err)
+		}
+		profiles[i] = p
+	}
+
+	factory, err := sim.PolicyByName(*policy)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := sim.Config{Workload: profiles, Policy: factory, Seed: *seed}
+	if *scale != 1 {
+		cfg.Mem.DRAM = dram.DefaultConfig()
+		cfg.Mem.DRAM.Timing = dram.DDR2800().Scale(*scale)
+	}
+	if *shares != "" {
+		parts := strings.Split(*shares, ",")
+		if len(parts) != len(names) {
+			fail(fmt.Errorf("%d shares for %d cores", len(parts), len(names)))
+		}
+		cfg.Shares = make([]core.Share, len(parts))
+		for i, p := range parts {
+			s, err := parseShare(strings.TrimSpace(p))
+			if err != nil {
+				fail(err)
+			}
+			cfg.Shares[i] = s
+		}
+	}
+
+	res, err := sim.Run(cfg, *warmup, *window)
+	if err != nil {
+		fail(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Printf("policy %s, %d cores, %d measured cycles\n", res.PolicyName, len(res.Threads), res.Cycles)
+	fmt.Printf("%-10s %8s %8s %10s %10s %10s %8s\n", "thread", "IPC", "busUtil", "readLat", "latP95", "reads", "rowHit")
+	for _, t := range res.Threads {
+		fmt.Printf("%-10s %8.3f %8.3f %10.0f %10.0f %10d %8.2f\n",
+			t.Benchmark, t.IPC, t.BusUtil, t.AvgReadLatency, t.ReadLatP95, t.ReadsDone, t.RowHitRate)
+	}
+	fmt.Printf("aggregate: data bus utilization %.3f, bank utilization %.3f\n",
+		res.DataBusUtil, res.BankUtil)
+}
+
+// parseShare parses "num/den" or a bare integer percentage like "25".
+func parseShare(s string) (core.Share, error) {
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		n, err1 := strconv.Atoi(num)
+		d, err2 := strconv.Atoi(den)
+		if err1 != nil || err2 != nil {
+			return core.Share{}, fmt.Errorf("bad share %q", s)
+		}
+		sh := core.Share{Num: n, Den: d}
+		if !sh.Valid() {
+			return core.Share{}, fmt.Errorf("invalid share %q", s)
+		}
+		return sh, nil
+	}
+	pct, err := strconv.Atoi(s)
+	if err != nil || pct < 1 || pct > 100 {
+		return core.Share{}, fmt.Errorf("bad share %q (want num/den or percent)", s)
+	}
+	return core.Share{Num: pct, Den: 100}, nil
+}

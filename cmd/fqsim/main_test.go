@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseShare(t *testing.T) {
+	cases := []struct {
+		in        string
+		num, den  int
+		wantError bool
+	}{
+		{"1/2", 1, 2, false},
+		{"3/4", 3, 4, false},
+		{"25", 25, 100, false},
+		{"100", 100, 100, false},
+		{"0/4", 0, 0, true},
+		{"5/4", 0, 0, true},
+		{"x/y", 0, 0, true},
+		{"0", 0, 0, true},
+		{"101", 0, 0, true},
+		{"", 0, 0, true},
+	}
+	for _, c := range cases {
+		s, err := parseShare(c.in)
+		if c.wantError {
+			if err == nil {
+				t.Errorf("parseShare(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseShare(%q): %v", c.in, err)
+			continue
+		}
+		if s.Num != c.num || s.Den != c.den {
+			t.Errorf("parseShare(%q) = %v", c.in, s)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command tracegen records a synthetic benchmark's instruction stream
+// to a trace file (the reproduction's analogue of the paper's "sampled
+// traces"), and can summarize or verify existing trace files.
+//
+// Usage:
+//
+//	tracegen -bench art -n 1000000 -o art.trc [-thread 0] [-seed 0]
+//	tracegen -info art.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "benchmark to record (see fqsim -list)")
+		n      = flag.Uint64("n", 1_000_000, "instructions to record")
+		out    = flag.String("o", "", "output trace file")
+		thread = flag.Int("thread", 0, "thread id (selects the address region)")
+		seed   = flag.Uint64("seed", 0, "generator seed")
+		info   = flag.String("info", "", "summarize an existing trace file and exit")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	if *info != "" {
+		f, err := os.Open(*info)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r, err := trace.ReadTrace(f)
+		if err != nil {
+			fail(err)
+		}
+		var counts [5]int
+		var ins trace.Instr
+		for i := 0; i < r.Len(); i++ {
+			r.Next(&ins)
+			counts[ins.Kind]++
+		}
+		total := float64(r.Len())
+		fmt.Printf("trace %s: %d instructions\n", r.Name(), r.Len())
+		fmt.Printf("  int %.1f%%  fp %.1f%%  load %.1f%%  store %.1f%%  branch %.1f%%\n",
+			100*float64(counts[trace.KindInt])/total,
+			100*float64(counts[trace.KindFp])/total,
+			100*float64(counts[trace.KindLoad])/total,
+			100*float64(counts[trace.KindStore])/total,
+			100*float64(counts[trace.KindBranch])/total)
+		return
+	}
+
+	if *bench == "" || *out == "" {
+		fail(fmt.Errorf("need -bench and -o (or -info)"))
+	}
+	p, err := trace.ByName(*bench)
+	if err != nil {
+		fail(err)
+	}
+	g, err := trace.NewGenerator(p, *thread, *seed)
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := trace.WriteTrace(f, g, *n); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d instructions of %s to %s\n", *n, *bench, *out)
+}

@@ -1,0 +1,43 @@
+package fqms_test
+
+import (
+	"fmt"
+
+	fqms "repro"
+)
+
+// Example runs the paper's headline scenario: the latency-sensitive vpr
+// benchmark next to the memory-streaming art benchmark, under the
+// FR-FCFS baseline and under the Fair Queuing scheduler. Short windows
+// keep the example fast; the direction of every comparison is stable.
+func Example() {
+	base, err := fqms.Run(fqms.SystemConfig{
+		Workload:    []string{"vpr"},
+		MemoryScale: 2, // vpr's QoS baseline: a private half-speed memory
+		Warmup:      20_000,
+		Window:      150_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, sched := range []fqms.Scheduler{fqms.FRFCFS, fqms.FQVFTF} {
+		res, err := fqms.Run(fqms.SystemConfig{
+			Workload:  []string{"vpr", "art"},
+			Scheduler: sched,
+			Warmup:    20_000,
+			Window:    150_000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		norm := res.Threads[0].IPC / base.Threads[0].IPC
+		if norm >= 1 {
+			fmt.Printf("%s: vpr meets its QoS objective\n", sched)
+		} else {
+			fmt.Printf("%s: vpr misses its QoS objective\n", sched)
+		}
+	}
+	// Output:
+	// FR-FCFS: vpr misses its QoS objective
+	// FQ-VFTF: vpr meets its QoS objective
+}

@@ -1,0 +1,110 @@
+package fqms
+
+import (
+	"testing"
+)
+
+func TestBenchmarksSuite(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 20 {
+		t.Fatalf("suite size %d", len(bs))
+	}
+	names := BenchmarkNames()
+	if names[0] != "art" {
+		t.Errorf("first benchmark %q", names[0])
+	}
+	if _, err := BenchmarkByName("vpr"); err != nil {
+		t.Error(err)
+	}
+	if _, err := BenchmarkByName("bogus"); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+}
+
+func TestFourCoreWorkloadsShape(t *testing.T) {
+	wls := FourCoreWorkloads()
+	if len(wls) != 4 || len(wls[0]) != 4 {
+		t.Fatalf("workloads = %v", wls)
+	}
+}
+
+func TestDDR2800Exposed(t *testing.T) {
+	tt := DDR2800()
+	if tt.TCL != 5 || tt.TRAS != 18 || tt.BL2 != 4 {
+		t.Errorf("Table 6 constants: %+v", tt)
+	}
+}
+
+func TestEqualShare(t *testing.T) {
+	s := EqualShare(4)
+	if s.Num != 1 || s.Den != 4 {
+		t.Errorf("EqualShare(4) = %+v", s)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(SystemConfig{}); err == nil {
+		t.Error("accepted empty workload")
+	}
+	if _, err := Run(SystemConfig{Workload: []string{"bogus"}}); err == nil {
+		t.Error("accepted unknown benchmark")
+	}
+	if _, err := Run(SystemConfig{Workload: []string{"vpr"}, Scheduler: "bogus"}); err == nil {
+		t.Error("accepted unknown scheduler")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(SystemConfig{
+		Workload:  []string{"vpr", "art"},
+		Scheduler: FQVFTF,
+		Warmup:    5_000,
+		Window:    40_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyName != "FQ-VFTF" {
+		t.Errorf("policy = %q", res.PolicyName)
+	}
+	if len(res.Threads) != 2 {
+		t.Fatalf("threads = %d", len(res.Threads))
+	}
+	for _, tr := range res.Threads {
+		if tr.IPC <= 0 || tr.BusUtil <= 0 {
+			t.Errorf("thread %s: %+v", tr.Benchmark, tr)
+		}
+	}
+}
+
+func TestRunMemoryScaleSlowsSystem(t *testing.T) {
+	fast, err := Run(SystemConfig{Workload: []string{"ammp"}, Warmup: 5_000, Window: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(SystemConfig{Workload: []string{"ammp"}, MemoryScale: 4, Warmup: 5_000, Window: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Threads[0].IPC >= fast.Threads[0].IPC {
+		t.Errorf("4x scaled memory did not slow ammp: %.3f vs %.3f",
+			slow.Threads[0].IPC, fast.Threads[0].IPC)
+	}
+	if slow.Threads[0].AvgReadLatency <= fast.Threads[0].AvgReadLatency {
+		t.Error("scaled memory did not raise latency")
+	}
+}
+
+func TestNewExperimentRunner(t *testing.T) {
+	r := NewExperimentRunner(ExperimentConfig{Warmup: 5_000, Window: 30_000})
+	if r == nil {
+		t.Fatal("nil runner")
+	}
+	tr, err := r.Solo("crafty", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IPC <= 0 {
+		t.Errorf("solo crafty IPC = %v", tr.IPC)
+	}
+}

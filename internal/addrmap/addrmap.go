@@ -1,0 +1,167 @@
+// Package addrmap decodes physical line addresses into DRAM coordinates
+// (rank, bank, row, column). It implements the XOR bank mapping of Lin
+// et al. (HPCA '01), which the paper's memory controller uses to spread
+// row-conflicting streams across banks, plus a plain linear mapping for
+// ablation.
+package addrmap
+
+import "fmt"
+
+// Coord is a decoded DRAM coordinate.
+type Coord struct {
+	Channel, Rank, Bank, Row, Col int
+}
+
+// Mapper decodes a physical line address (an address already divided by
+// the cache line size) into DRAM coordinates.
+type Mapper interface {
+	// Decode maps a line address to its DRAM coordinate.
+	Decode(lineAddr uint64) Coord
+	// Banks returns the total number of banks addressed.
+	Banks() int
+	// Name identifies the mapping for reports.
+	Name() string
+}
+
+// Geometry describes the address space shape shared by both mappers.
+// All fields must be powers of two. Channels == 0 means one channel.
+type Geometry struct {
+	Channels     int // memory channels, interleaved at line granularity
+	Ranks        int
+	BanksPerRank int
+	RowsPerBank  int
+	ColsPerRow   int // cache lines per row
+}
+
+// Validate checks that every dimension is a positive power of two.
+func (g Geometry) Validate() error {
+	if g.Channels == 0 {
+		g.Channels = 1
+	}
+	for _, d := range [...]struct {
+		name string
+		v    int
+	}{
+		{"channels", g.Channels},
+		{"ranks", g.Ranks},
+		{"banks per rank", g.BanksPerRank},
+		{"rows per bank", g.RowsPerBank},
+		{"cols per row", g.ColsPerRow},
+	} {
+		if d.v < 1 || d.v&(d.v-1) != 0 {
+			return fmt.Errorf("addrmap: %s must be a positive power of two, got %d", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// Banks returns the bank count per channel.
+func (g Geometry) Banks() int { return g.Ranks * g.BanksPerRank }
+
+// Lines returns the total number of cache lines the geometry addresses.
+func (g Geometry) Lines() uint64 {
+	ch := g.Channels
+	if ch == 0 {
+		ch = 1
+	}
+	return uint64(ch) * uint64(g.Ranks) * uint64(g.BanksPerRank) * uint64(g.RowsPerBank) * uint64(g.ColsPerRow)
+}
+
+func log2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Linear maps address bits as row | rank | bank | column | channel
+// (channels interleave at line granularity; within a channel, low bits
+// are the column, so consecutive lines stream within one row of one
+// bank).
+type Linear struct {
+	g                                     Geometry
+	chanBits, colBits, bankBits, rankBits uint
+	chanMask, colMask, bankMask, rankMask uint64
+	rowMask                               uint64
+}
+
+// NewLinear returns a linear mapper over the geometry.
+func NewLinear(g Geometry) (*Linear, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Channels == 0 {
+		g.Channels = 1
+	}
+	m := &Linear{g: g}
+	m.chanBits = log2(g.Channels)
+	m.colBits = log2(g.ColsPerRow)
+	m.bankBits = log2(g.BanksPerRank)
+	m.rankBits = log2(g.Ranks)
+	m.chanMask = uint64(g.Channels - 1)
+	m.colMask = uint64(g.ColsPerRow - 1)
+	m.bankMask = uint64(g.BanksPerRank - 1)
+	m.rankMask = uint64(g.Ranks - 1)
+	m.rowMask = uint64(g.RowsPerBank - 1)
+	return m, nil
+}
+
+// Decode implements Mapper.
+func (m *Linear) Decode(lineAddr uint64) Coord {
+	ch := lineAddr & m.chanMask
+	lineAddr >>= m.chanBits
+	col := lineAddr & m.colMask
+	lineAddr >>= m.colBits
+	bank := lineAddr & m.bankMask
+	lineAddr >>= m.bankBits
+	rank := lineAddr & m.rankMask
+	lineAddr >>= m.rankBits
+	row := lineAddr & m.rowMask
+	return Coord{Channel: int(ch), Rank: int(rank), Bank: int(bank), Row: int(row), Col: int(col)}
+}
+
+// Banks implements Mapper.
+func (m *Linear) Banks() int { return m.g.Banks() }
+
+// Name implements Mapper.
+func (m *Linear) Name() string { return "linear" }
+
+// XOR is the Lin et al. permutation-based mapping: the bank index is the
+// linear bank bits XORed with the low row bits, so that streams that
+// would conflict in one bank under the linear map instead spread across
+// banks while preserving row locality.
+type XOR struct {
+	Linear
+}
+
+// NewXOR returns an XOR-permuted mapper over the geometry.
+func NewXOR(g Geometry) (*XOR, error) {
+	lin, err := NewLinear(g)
+	if err != nil {
+		return nil, err
+	}
+	return &XOR{Linear: *lin}, nil
+}
+
+// Decode implements Mapper.
+func (m *XOR) Decode(lineAddr uint64) Coord {
+	c := m.Linear.Decode(lineAddr)
+	c.Bank = int((uint64(c.Bank) ^ (uint64(c.Row) & m.bankMask)))
+	return c
+}
+
+// Name implements Mapper.
+func (m *XOR) Name() string { return "xor" }
+
+// Encode is the inverse of Linear.Decode; it is used by tests and by the
+// workload generators to construct addresses with known coordinates.
+func (m *Linear) Encode(c Coord) uint64 {
+	a := uint64(c.Row) & m.rowMask
+	a = a<<m.rankBits | uint64(c.Rank)&m.rankMask
+	a = a<<m.bankBits | uint64(c.Bank)&m.bankMask
+	a = a<<m.colBits | uint64(c.Col)&m.colMask
+	a = a<<m.chanBits | uint64(c.Channel)&m.chanMask
+	return a
+}

@@ -1,0 +1,155 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testGeometry() Geometry {
+	return Geometry{Ranks: 1, BanksPerRank: 8, RowsPerBank: 16384, ColsPerRow: 128}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := testGeometry().Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	bad := []Geometry{
+		{Ranks: 0, BanksPerRank: 8, RowsPerBank: 16, ColsPerRow: 16},
+		{Ranks: 1, BanksPerRank: 6, RowsPerBank: 16, ColsPerRow: 16}, // not power of two
+		{Ranks: 1, BanksPerRank: 8, RowsPerBank: 0, ColsPerRow: 16},
+		{Ranks: 3, BanksPerRank: 8, RowsPerBank: 16, ColsPerRow: 16},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: accepted invalid geometry %+v", i, g)
+		}
+	}
+}
+
+func TestLinearRoundTrip(t *testing.T) {
+	m, err := NewLinear(testGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a uint64) bool {
+		a %= testGeometry().Lines()
+		c := m.Decode(a)
+		return m.Encode(c) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeWithinBounds(t *testing.T) {
+	g := testGeometry()
+	lin, _ := NewLinear(g)
+	xor, _ := NewXOR(g)
+	for _, m := range []Mapper{lin, xor} {
+		f := func(a uint64) bool {
+			c := m.Decode(a)
+			return c.Rank >= 0 && c.Rank < g.Ranks &&
+				c.Bank >= 0 && c.Bank < g.BanksPerRank &&
+				c.Row >= 0 && c.Row < g.RowsPerBank &&
+				c.Col >= 0 && c.Col < g.ColsPerRow
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestLinearSequentialStreamsWithinRow(t *testing.T) {
+	m, _ := NewLinear(testGeometry())
+	// Consecutive lines share rank/bank/row until the column wraps.
+	c0 := m.Decode(0)
+	for a := uint64(1); a < 128; a++ {
+		c := m.Decode(a)
+		if c.Rank != c0.Rank || c.Bank != c0.Bank || c.Row != c0.Row {
+			t.Fatalf("line %d left the row: %+v vs %+v", a, c, c0)
+		}
+		if c.Col != int(a) {
+			t.Fatalf("line %d col = %d", a, c.Col)
+		}
+	}
+	if c := m.Decode(128); c.Bank == c0.Bank && c.Row == c0.Row {
+		t.Fatal("line 128 did not advance bank/row")
+	}
+}
+
+func TestXORPreservesAllButBank(t *testing.T) {
+	g := testGeometry()
+	lin, _ := NewLinear(g)
+	xor, _ := NewXOR(g)
+	f := func(a uint64) bool {
+		cl, cx := lin.Decode(a), xor.Decode(a)
+		return cl.Rank == cx.Rank && cl.Row == cx.Row && cl.Col == cx.Col
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORSpreadsConflictingRows(t *testing.T) {
+	g := testGeometry()
+	lin, _ := NewLinear(g)
+	xor, _ := NewXOR(g)
+	// Addresses that alias to the same bank under the linear map (same
+	// bank bits, consecutive rows) spread across banks under XOR.
+	banks := map[int]bool{}
+	for row := 0; row < 8; row++ {
+		a := lin.Encode(Coord{Rank: 0, Bank: 3, Row: row, Col: 0})
+		banks[xor.Decode(a).Bank] = true
+	}
+	if len(banks) != 8 {
+		t.Fatalf("XOR spread 8 conflicting rows over %d banks, want 8", len(banks))
+	}
+}
+
+func TestXORIsPermutationPerRow(t *testing.T) {
+	g := testGeometry()
+	xor, _ := NewXOR(g)
+	lin, _ := NewLinear(g)
+	// For a fixed row, the bank mapping is a bijection.
+	for row := 0; row < 4; row++ {
+		seen := map[int]bool{}
+		for b := 0; b < g.BanksPerRank; b++ {
+			a := lin.Encode(Coord{Rank: 0, Bank: b, Row: row, Col: 0})
+			nb := xor.Decode(a).Bank
+			if seen[nb] {
+				t.Fatalf("row %d: bank %d mapped twice", row, nb)
+			}
+			seen[nb] = true
+		}
+	}
+}
+
+func TestMapperNames(t *testing.T) {
+	lin, _ := NewLinear(testGeometry())
+	xor, _ := NewXOR(testGeometry())
+	if lin.Name() != "linear" || xor.Name() != "xor" {
+		t.Errorf("names = %q, %q", lin.Name(), xor.Name())
+	}
+	if lin.Banks() != 8 || xor.Banks() != 8 {
+		t.Errorf("banks = %d, %d, want 8", lin.Banks(), xor.Banks())
+	}
+}
+
+func TestMultiRankGeometry(t *testing.T) {
+	g := Geometry{Ranks: 2, BanksPerRank: 4, RowsPerBank: 1024, ColsPerRow: 64}
+	m, err := NewXOR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := map[int]bool{}
+	for a := uint64(0); a < g.Lines(); a += 997 {
+		c := m.Decode(a)
+		ranks[c.Rank] = true
+		if c.Rank < 0 || c.Rank >= 2 || c.Bank < 0 || c.Bank >= 4 {
+			t.Fatalf("out of bounds: %+v", c)
+		}
+	}
+	if len(ranks) != 2 {
+		t.Fatalf("addresses touched %d ranks, want 2", len(ranks))
+	}
+}

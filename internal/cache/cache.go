@@ -1,0 +1,169 @@
+// Package cache implements the private per-core cache hierarchy of the
+// paper's Table 5: 32KB 4-way L1 instruction and data caches (2-cycle),
+// a 512KB 8-way unified L2 (12-cycle), write-back write-allocate with
+// LRU replacement, a 16-entry MSHR file with miss merging at the memory
+// boundary, and a dirty-writeback stream toward the memory controller.
+//
+// The package is purely functional with respect to time: it classifies
+// accesses and tracks outstanding misses; the core model and system
+// simulator attach latencies and drain the outgoing request queues.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	SizeKB    int
+	Ways      int
+	LineBytes int
+	Latency   int // access latency in cycles
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeKB * 1024 / (c.Ways * c.LineBytes) }
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeKB < 1 || c.Ways < 1 || c.LineBytes < 1 || c.Latency < 0:
+		return fmt.Errorf("cache: invalid config %+v", c)
+	case c.SizeKB*1024%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("cache: size %dKB not divisible into %d ways of %dB lines", c.SizeKB, c.Ways, c.LineBytes)
+	default:
+		s := c.Sets()
+		if s&(s-1) != 0 {
+			return fmt.Errorf("cache: set count %d is not a power of two", s)
+		}
+	}
+	return nil
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse int64
+}
+
+// Cache is one set-associative write-back cache level. Addresses are
+// line addresses (byte address / line size); the cache never sees byte
+// offsets.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	useTick int64
+
+	Hits, Misses int64
+}
+
+// New returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Sets()
+	c := &Cache{cfg: cfg, setMask: uint64(n - 1)}
+	c.sets = make([][]line, n)
+	backing := make([]line, n*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) set(lineAddr uint64) []line { return c.sets[lineAddr&c.setMask] }
+
+func (c *Cache) tag(lineAddr uint64) uint64 { return lineAddr >> uint(popshift(c.setMask)) }
+
+func popshift(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// Lookup probes the cache without modifying replacement state.
+func (c *Cache) Lookup(lineAddr uint64) bool {
+	tag := c.tag(lineAddr)
+	for i := range c.set(lineAddr) {
+		l := &c.set(lineAddr)[i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access probes the cache, updating LRU state and hit/miss counters; on
+// a hit with write=true the line is marked dirty.
+func (c *Cache) Access(lineAddr uint64, write bool) bool {
+	c.useTick++
+	tag := c.tag(lineAddr)
+	s := c.set(lineAddr)
+	for i := range s {
+		l := &s[i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.useTick
+			if write {
+				l.dirty = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Fill installs a line, evicting the LRU victim. It reports the evicted
+// line's address and whether it was dirty (and valid).
+func (c *Cache) Fill(lineAddr uint64, dirty bool) (victim uint64, victimDirty, evicted bool) {
+	c.useTick++
+	tag := c.tag(lineAddr)
+	s := c.set(lineAddr)
+	vi := 0
+	for i := range s {
+		l := &s[i]
+		if l.valid && l.tag == tag {
+			// Already present (e.g. racing fill); just update.
+			l.lastUse = c.useTick
+			l.dirty = l.dirty || dirty
+			return 0, false, false
+		}
+		if !l.valid {
+			vi = i
+			break
+		}
+		if s[i].lastUse < s[vi].lastUse {
+			vi = i
+		}
+	}
+	v := &s[vi]
+	if v.valid {
+		victim = v.tag<<uint(popshift(c.setMask)) | (lineAddr & c.setMask)
+		victimDirty = v.dirty
+		evicted = true
+	}
+	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: c.useTick}
+	return victim, victimDirty, evicted
+}
+
+// Invalidate removes a line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
+	tag := c.tag(lineAddr)
+	s := c.set(lineAddr)
+	for i := range s {
+		l := &s[i]
+		if l.valid && l.tag == tag {
+			l.valid = false
+			return l.dirty, true
+		}
+	}
+	return false, false
+}

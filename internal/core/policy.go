@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// BankRule selects how a per-bank scheduler picks the request whose next
+// SDRAM command it offers to the channel scheduler.
+type BankRule uint8
+
+const (
+	// RuleFirstReady: order candidates (ready, CAS, key); classic
+	// first-ready scheduling. Used by FR-FCFS and FR-VFTF.
+	RuleFirstReady BankRule = iota
+	// RuleFQ: first-ready ordering while the bank is closed or within
+	// the first x cycles after an activate; afterwards the bank
+	// scheduler selects the request with the smallest key and waits for
+	// its first command to become ready (Section 3.3). Used by FQ-VFTF.
+	RuleFQ
+	// RuleStrict: always select the request with the smallest key and
+	// wait for it; pure in-order service (FCFS / pure EDF).
+	RuleStrict
+)
+
+// Policy is a memory scheduling algorithm: it supplies the priority key
+// used by the bank and channel schedulers (after the shared "ready
+// commands first, CAS commands first" levels) and observes issued
+// commands to maintain any internal state (VTMS registers).
+//
+// Smaller keys are higher priority. The controller breaks key ties by
+// arrival time and then request ID.
+type Policy interface {
+	// Name identifies the policy in reports ("FR-FCFS", "FQ-VFTF", ...).
+	Name() string
+
+	// Key returns the request's priority key given the state its bank
+	// would present if the request began service now.
+	Key(r *Request, state BankState) int64
+
+	// OnIssue informs the policy that one SDRAM command of request r was
+	// issued (kind is never CmdNone or CmdRefresh).
+	OnIssue(r *Request, kind CmdKind)
+
+	// BankRule returns the bank scheduler selection rule and, for
+	// RuleFQ, the priority-inversion bound x in cycles.
+	BankRule() (rule BankRule, x int64)
+}
+
+// stateFromFirstCmd infers the bank state a request saw when its first
+// command issued: a precharge means the bank held a different row
+// (conflict), an activate means it was closed, a CAS means a row hit.
+func stateFromFirstCmd(kind CmdKind) BankState {
+	switch kind {
+	case CmdPrecharge:
+		return BankConflict
+	case CmdActivate:
+		return BankClosed
+	default:
+		return BankHit
+	}
+}
+
+// ---------------------------------------------------------------------
+// FR-FCFS (baseline) and FCFS
+// ---------------------------------------------------------------------
+
+// FRFCFS is the first-ready first-come-first-serve baseline: ready
+// commands first, CAS commands first, then earliest arrival time.
+type FRFCFS struct{}
+
+// NewFRFCFS returns the FR-FCFS baseline policy.
+func NewFRFCFS() *FRFCFS { return &FRFCFS{} }
+
+// Name implements Policy.
+func (*FRFCFS) Name() string { return "FR-FCFS" }
+
+// Key implements Policy: earliest arrival time first.
+func (*FRFCFS) Key(r *Request, _ BankState) int64 { return r.Arrival }
+
+// OnIssue implements Policy (no internal state).
+func (*FRFCFS) OnIssue(_ *Request, _ CmdKind) {}
+
+// BankRule implements Policy.
+func (*FRFCFS) BankRule() (BankRule, int64) { return RuleFirstReady, 0 }
+
+// FCFS services requests strictly in arrival order with no first-ready
+// reordering; it is the in-order lower bound occasionally used as a
+// sanity reference.
+type FCFS struct{}
+
+// NewFCFS returns the strict in-order policy.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Policy.
+func (*FCFS) Name() string { return "FCFS" }
+
+// Key implements Policy.
+func (*FCFS) Key(r *Request, _ BankState) int64 { return r.Arrival }
+
+// OnIssue implements Policy.
+func (*FCFS) OnIssue(_ *Request, _ CmdKind) {}
+
+// BankRule implements Policy.
+func (*FCFS) BankRule() (BankRule, int64) { return RuleStrict, 0 }
+
+// ---------------------------------------------------------------------
+// Virtual finish-time policies
+// ---------------------------------------------------------------------
+
+// vftBase holds the per-thread VTMS registers shared by the VFTF-family
+// policies and implements key computation and register updates.
+type vftBase struct {
+	vtms []*VTMS
+}
+
+func newVFTBase(shares []Share, nbanks int, t dram.Timing) vftBase {
+	v := vftBase{vtms: make([]*VTMS, len(shares))}
+	for i, s := range shares {
+		v.vtms[i] = NewVTMS(i, s, nbanks, t)
+	}
+	return v
+}
+
+// ThreadVTMS exposes a thread's VTMS registers (for tests and reports).
+func (b *vftBase) ThreadVTMS(thread int) *VTMS { return b.vtms[thread] }
+
+// SetChannels resizes every thread's per-channel registers; the
+// controller calls it when configured with more than one memory
+// channel (a beyond-the-paper extension).
+func (b *vftBase) SetChannels(n int) {
+	for _, v := range b.vtms {
+		v.SetChannels(n)
+	}
+}
+
+// ChannelSetter is implemented by policies whose bookkeeping has a
+// per-channel dimension.
+type ChannelSetter interface {
+	SetChannels(n int)
+}
+
+// SetThreadShare reassigns one thread's bandwidth share at run time.
+func (b *vftBase) SetThreadShare(thread int, s Share) {
+	b.vtms[thread].SetShare(s)
+}
+
+// ShareSetter is implemented by policies whose shares can be reassigned
+// at run time (the VFTF family; FR-FCFS has no shares).
+type ShareSetter interface {
+	SetThreadShare(thread int, s Share)
+}
+
+// Key returns the request's virtual finish-time: the frozen value once
+// service has begun, otherwise Equation 7 evaluated against the current
+// registers and bank state. The provisional value is cached on the
+// request purely for observability.
+func (b *vftBase) Key(r *Request, state BankState) int64 {
+	if r.VFTFrozen {
+		return int64(r.VFT)
+	}
+	vft := b.vtms[r.Thread].FinishTime(r.Arrival, r.GlobalBank, r.Channel, r.IsWrite, state)
+	r.VFT = vft
+	return int64(vft)
+}
+
+// OnIssue freezes the request's virtual finish-time when its first
+// command issues (computed against the pre-update registers, with the
+// bank state implied by the command), then applies the Table 4 /
+// Equations 8-9 register updates.
+func (b *vftBase) OnIssue(r *Request, kind CmdKind) {
+	v := b.vtms[r.Thread]
+	if !r.VFTFrozen {
+		r.VFT = v.FinishTime(r.Arrival, r.GlobalBank, r.Channel, r.IsWrite, stateFromFirstCmd(kind))
+		r.VFTFrozen = true
+	}
+	v.OnCommandIssue(kind, r.Arrival, r.GlobalBank, r.Channel, r.IsWrite)
+}
+
+// FRVFTF prioritizes requests earliest-virtual-finish-time first with
+// plain first-ready bank scheduling (no protection against bank priority
+// chaining); the paper's intermediate design point.
+type FRVFTF struct {
+	vftBase
+}
+
+// NewFRVFTF returns an FR-VFTF policy for threads with the given shares
+// over nbanks banks of a memory system with timing t.
+func NewFRVFTF(shares []Share, nbanks int, t dram.Timing) *FRVFTF {
+	return &FRVFTF{vftBase: newVFTBase(shares, nbanks, t)}
+}
+
+// Name implements Policy.
+func (*FRVFTF) Name() string { return "FR-VFTF" }
+
+// BankRule implements Policy.
+func (*FRVFTF) BankRule() (BankRule, int64) { return RuleFirstReady, 0 }
+
+// FQVFTF is the full FQ memory scheduler: virtual-finish-time-first
+// priority plus the Section 3.3 FQ bank scheduling algorithm that bounds
+// priority inversion blocking time at x cycles (the paper uses x = tRAS).
+type FQVFTF struct {
+	vftBase
+	x int64
+}
+
+// NewFQVFTF returns the FQ memory scheduler with the paper's bound
+// x = tRAS.
+func NewFQVFTF(shares []Share, nbanks int, t dram.Timing) *FQVFTF {
+	return NewFQVFTFBound(shares, nbanks, t, int64(t.TRAS))
+}
+
+// NewFQVFTFBound returns the FQ memory scheduler with an explicit
+// priority-inversion bound x (for the ablation sweep).
+func NewFQVFTFBound(shares []Share, nbanks int, t dram.Timing, x int64) *FQVFTF {
+	if x < 0 {
+		panic(fmt.Sprintf("core: negative FQ inversion bound %d", x))
+	}
+	return &FQVFTF{vftBase: newVFTBase(shares, nbanks, t), x: x}
+}
+
+// Name implements Policy.
+func (*FQVFTF) Name() string { return "FQ-VFTF" }
+
+// BankRule implements Policy.
+func (p *FQVFTF) BankRule() (BankRule, int64) { return RuleFQ, p.x }
+
+// ---------------------------------------------------------------------
+// Virtual start-time ablation
+// ---------------------------------------------------------------------
+
+// FRVSTF prioritizes by earliest virtual *start*-time (the Section 2.3
+// alternative ordering); implemented as an ablation of the finish-time
+// choice.
+type FRVSTF struct {
+	vftBase
+}
+
+// NewFRVSTF returns the start-time-first ablation policy.
+func NewFRVSTF(shares []Share, nbanks int, t dram.Timing) *FRVSTF {
+	return &FRVSTF{vftBase: newVFTBase(shares, nbanks, t)}
+}
+
+// Name implements Policy.
+func (*FRVSTF) Name() string { return "FR-VSTF" }
+
+// Key implements Policy: the bank service virtual start-time
+// max{a, B_j.R} (Equation 3 in register form).
+func (p *FRVSTF) Key(r *Request, _ BankState) int64 {
+	if r.VFTFrozen {
+		return int64(r.VFT)
+	}
+	v := p.vtms[r.Thread]
+	st := maxVT(FromCycles(r.Arrival), v.BankR(r.GlobalBank))
+	r.VFT = st
+	return int64(st)
+}
+
+// OnIssue implements Policy: freeze the start-time key, then apply the
+// standard register updates.
+func (p *FRVSTF) OnIssue(r *Request, kind CmdKind) {
+	v := p.vtms[r.Thread]
+	if !r.VFTFrozen {
+		r.VFT = maxVT(FromCycles(r.Arrival), v.BankR(r.GlobalBank))
+		r.VFTFrozen = true
+	}
+	v.OnCommandIssue(kind, r.Arrival, r.GlobalBank, r.Channel, r.IsWrite)
+}
+
+// BankRule implements Policy.
+func (*FRVSTF) BankRule() (BankRule, int64) { return RuleFirstReady, 0 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// VTMS is one thread's Virtual Time Memory System state (Section 3.1,
+// Tables 1 and 2): a last-virtual-finish-time register per bank
+// (B_j.R_i), one for the channel (C.R_i), and the thread's service share
+// phi. A thread allocated share phi is modeled as owning a private
+// memory system whose timing characteristics are time scaled by 1/phi;
+// the registers track when each resource of that private system would
+// become free.
+type VTMS struct {
+	thread int
+	share  Share
+	invPhi int64 // 1/phi in fixed point (VTShift fractional bits)
+
+	bankR []VTime // B_j.R_i, one per (flat) bank
+	chanR []VTime // C.R_i, one per memory channel
+
+	timing dram.Timing
+}
+
+// NewVTMS returns the VTMS registers for one thread over nbanks banks.
+func NewVTMS(thread int, share Share, nbanks int, t dram.Timing) *VTMS {
+	if !share.Valid() {
+		panic(fmt.Sprintf("core: invalid share %v for thread %d", share, thread))
+	}
+	return &VTMS{
+		thread: thread,
+		share:  share,
+		invPhi: share.Reciprocal(),
+		bankR:  make([]VTime, nbanks),
+		chanR:  make([]VTime, 1),
+		timing: t,
+	}
+}
+
+// SetChannels resizes the per-channel finish-time registers for a
+// multi-channel memory system (an extension beyond the paper, which
+// evaluates a single channel and defers multi-channel to future work).
+// It must be called before any scheduling activity.
+func (v *VTMS) SetChannels(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("core: invalid channel count %d", n))
+	}
+	v.chanR = make([]VTime, n)
+}
+
+// Share returns the thread's allocated service share.
+func (v *VTMS) Share() Share { return v.share }
+
+// SetShare changes the thread's allocated share at run time -- the knob
+// the paper hands to the OS or VMM ("this allocation ... could be
+// assigned flexibly by either an OS or a virtual machine monitor").
+// Existing register values are preserved: past service remains charged
+// at the old rate, future service accrues at the new one.
+func (v *VTMS) SetShare(s Share) {
+	if !s.Valid() {
+		panic(fmt.Sprintf("core: invalid share %v for thread %d", s, v.thread))
+	}
+	v.share = s
+	v.invPhi = s.Reciprocal()
+}
+
+// BankR returns the bank j last-virtual-finish-time register (for tests
+// and reports).
+func (v *VTMS) BankR(bank int) VTime { return v.bankR[bank] }
+
+// ChanR returns the channel-0 last-virtual-finish-time register.
+func (v *VTMS) ChanR() VTime { return v.chanR[0] }
+
+// ChanRAt returns channel c's last-virtual-finish-time register.
+func (v *VTMS) ChanRAt(c int) VTime { return v.chanR[c] }
+
+// scale converts a physical service time into the thread's virtual
+// service time: L / phi.
+func (v *VTMS) scale(l int) VTime { return VTime(int64(l) * v.invPhi) }
+
+// bankService returns the request's Table 3 bank service requirement
+// given the state of its bank at (prospective) service start.
+func (v *VTMS) bankService(isWrite bool, state BankState) int {
+	if isWrite {
+		return v.timing.BankServiceWrite(int(state))
+	}
+	return v.timing.BankServiceRead(int(state))
+}
+
+// FinishTime evaluates Equation 7: the virtual finish-time of a request
+// with the given arrival cycle, to the given bank, were it to begin
+// service now with the bank in the given state:
+//
+//	C.F = max{ max{a, B_j.R} + B.L/phi, C.R } + C.L/phi
+//
+// It does not modify the registers; the memory scheduler calls it every
+// cycle to (re)compute priorities of requests that have not yet begun
+// service, which is the paper's "calculate the virtual finish-times of
+// memory requests just before they are scheduled to begin service"
+// implementation choice.
+func (v *VTMS) FinishTime(arrival int64, bank, channel int, isWrite bool, state BankState) VTime {
+	bs := maxVT(FromCycles(arrival), v.bankR[bank]) + v.scale(v.bankService(isWrite, state))
+	return maxVT(bs, v.chanR[channel]) + v.scale(v.timing.ChannelService())
+}
+
+// OnCommandIssue applies the Table 4 / Equations 8-9 register updates
+// for one issued SDRAM command belonging to a request of this thread:
+//
+//	B_j.R = max{a, B_j.R} + Bcmd.L/phi            (Eq. 8, every command)
+//	C.R   = max{B_j.R, C.R} + Ccmd.L/phi          (Eq. 9, CAS only)
+//
+// arrival is the request's virtual arrival time a_i^k, bank its bank,
+// and kind the issued command.
+func (v *VTMS) OnCommandIssue(kind CmdKind, arrival int64, bank, channel int, isWrite bool) {
+	pre, act, cas := v.timing.CmdBankService(isWrite)
+	var bankL int
+	switch kind {
+	case CmdPrecharge:
+		bankL = pre
+	case CmdActivate:
+		bankL = act
+	case CmdRead, CmdWrite:
+		bankL = cas
+	default:
+		panic(fmt.Sprintf("core: VTMS update for %v", kind))
+	}
+	v.bankR[bank] = maxVT(FromCycles(arrival), v.bankR[bank]) + v.scale(bankL)
+	if kind.IsCAS() {
+		v.chanR[channel] = maxVT(v.bankR[bank], v.chanR[channel]) + v.scale(v.timing.ChannelService())
+	}
+}
+
+func maxVT(a, b VTime) VTime {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,338 @@
+// Package cpu implements the trace-driven out-of-order core model that
+// stands in for the paper's IBM-Research structural simulator. It keeps
+// the Table 5 structures that shape the memory request process — a
+// 128-entry reorder buffer, dispatch/retire width, load/store queues,
+// and the L1/L2 MSHR path — while abstracting functional-unit detail.
+// Register dependences come from the trace generator; address
+// dependences between loads model pointer chasing and bound a thread's
+// memory-level parallelism, which is what the paper's latency-sensitive
+// benchmarks (vpr) stress.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Config sizes the core (Table 5 defaults via DefaultConfig).
+type Config struct {
+	ROB            int
+	DispatchWidth  int
+	RetireWidth    int
+	LoadQueue      int // in-flight loads (issued, not completed)
+	StoreBuffer    int // retired stores awaiting cache write
+	LoadsPerCycle  int // cache load ports
+	StoresPerCycle int // cache store ports
+	IFetchEvery    int // instructions per I-fetch probe (line granularity)
+}
+
+// DefaultConfig returns the paper's Table 5 core parameters.
+func DefaultConfig() Config {
+	return Config{
+		ROB:            128,
+		DispatchWidth:  4,
+		RetireWidth:    4,
+		LoadQueue:      32,
+		StoreBuffer:    16,
+		LoadsPerCycle:  2,
+		StoresPerCycle: 1,
+		IFetchEvery:    16,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ROB < 1 || c.DispatchWidth < 1 || c.RetireWidth < 1 ||
+		c.LoadQueue < 1 || c.StoreBuffer < 1 || c.LoadsPerCycle < 1 ||
+		c.StoresPerCycle < 1 || c.IFetchEvery < 1 {
+		return fmt.Errorf("cpu: invalid config %+v", c)
+	}
+	return nil
+}
+
+const unresolved = int64(-1)
+const nilIdx = int32(-1)
+
+// entry is one reorder-buffer slot.
+type entry struct {
+	kind       trace.Kind
+	addr       uint64
+	lat        int32
+	completeAt int64 // unresolved until known
+	wakeHead   int32 // dependents waiting for this entry to resolve
+	wakeNext   int32 // link in the producer's wake list
+	inIssueQ   bool  // loads: queued for cache access
+}
+
+// Core is one hardware thread's processor model.
+type Core struct {
+	id   int
+	cfg  Config
+	gen  trace.Source
+	hier *cache.Hierarchy
+
+	rob   []entry
+	head  int32
+	count int32
+
+	issueQ   []int32 // rob slots of loads awaiting cache access
+	issueRdy []int64 // readyAt per issueQ entry
+	inFlight int     // loads issued, not completed
+
+	storeBuf []uint64 // retired store line addresses awaiting cache write
+
+	tokenWaiters [][]int32 // MSHR token -> rob slots awaiting fill
+	tokenStall   int       // MSHR token stalling dispatch (ifetch), -1 none
+	ifetchNACK   bool
+
+	sinceIFetch int
+
+	// Retired counts committed instructions.
+	Retired int64
+	// LoadsRetired and StoresRetired break down commits.
+	LoadsRetired, StoresRetired int64
+}
+
+// New returns a core running the given instruction source (a synthetic
+// generator or a replayed trace) against the given private cache
+// hierarchy.
+func New(id int, cfg Config, gen trace.Source, hier *cache.Hierarchy) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		id:           id,
+		cfg:          cfg,
+		gen:          gen,
+		hier:         hier,
+		rob:          make([]entry, cfg.ROB),
+		tokenWaiters: make([][]int32, 64),
+		tokenStall:   -1,
+	}
+	return c, nil
+}
+
+// ID returns the core's hardware thread id.
+func (c *Core) ID() int { return c.id }
+
+// Hierarchy returns the core's private cache hierarchy.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Generator returns the core's instruction source.
+func (c *Core) Generator() trace.Source { return c.gen }
+
+// slot converts a logical ROB position (0 = oldest) to a ring index.
+func (c *Core) slot(pos int32) int32 { return (c.head + pos) % int32(c.cfg.ROB) }
+
+// resolve sets an entry's completion time and cascades to dependents
+// whose times become computable.
+func (c *Core) resolve(idx int32, at int64) {
+	var stack [8]int32
+	work := stack[:0]
+	c.rob[idx].completeAt = at
+	work = append(work, idx)
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		t := c.rob[p].completeAt
+		w := c.rob[p].wakeHead
+		c.rob[p].wakeHead = nilIdx
+		for w != nilIdx {
+			next := c.rob[w].wakeNext
+			c.rob[w].wakeNext = nilIdx
+			e := &c.rob[w]
+			switch e.kind {
+			case trace.KindLoad:
+				// Address now computable: queue for cache access.
+				c.pushIssue(w, t)
+			default:
+				// ALU/branch/store: completes lat cycles after operands.
+				e.completeAt = t + int64(e.lat)
+				work = append(work, w)
+			}
+			w = next
+		}
+	}
+}
+
+func (c *Core) pushIssue(idx int32, readyAt int64) {
+	c.rob[idx].inIssueQ = true
+	c.issueQ = append(c.issueQ, idx)
+	c.issueRdy = append(c.issueRdy, readyAt)
+}
+
+// attachWaiter links waiter onto producer's wake list.
+func (c *Core) attachWaiter(producer, waiter int32) {
+	c.rob[waiter].wakeNext = c.rob[producer].wakeHead
+	c.rob[producer].wakeHead = waiter
+}
+
+// Tick advances the core one cycle: retire, drain stores, issue loads,
+// dispatch.
+func (c *Core) Tick(now int64) {
+	c.retire(now)
+	c.drainStores()
+	c.issueLoads(now)
+	c.dispatch(now)
+}
+
+func (c *Core) retire(now int64) {
+	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
+		idx := c.head
+		e := &c.rob[idx]
+		if e.completeAt == unresolved || e.completeAt > now {
+			return
+		}
+		if e.kind == trace.KindStore {
+			if len(c.storeBuf) >= c.cfg.StoreBuffer {
+				return // store buffer full: stall retirement
+			}
+			c.storeBuf = append(c.storeBuf, e.addr)
+			c.StoresRetired++
+		} else if e.kind == trace.KindLoad {
+			c.LoadsRetired++
+		}
+		c.Retired++
+		c.head = (c.head + 1) % int32(c.cfg.ROB)
+		c.count--
+	}
+}
+
+// drainStores performs the cache write for retired stores. Stores are
+// posted: a store miss allocates an MSHR (write-allocate fetch) but
+// wakes nothing; MSHR-full NACKs retry.
+func (c *Core) drainStores() {
+	for n := 0; n < c.cfg.StoresPerCycle && len(c.storeBuf) > 0; n++ {
+		res := c.hier.Access(cache.ClassStore, c.storeBuf[0])
+		if res.NACK {
+			return
+		}
+		c.storeBuf = c.storeBuf[:copy(c.storeBuf, c.storeBuf[1:])]
+	}
+}
+
+func (c *Core) issueLoads(now int64) {
+	issued := 0
+	for i := 0; i < len(c.issueQ) && issued < c.cfg.LoadsPerCycle; i++ {
+		if c.issueRdy[i] > now || c.inFlight >= c.cfg.LoadQueue {
+			continue
+		}
+		idx := c.issueQ[i]
+		e := &c.rob[idx]
+		res := c.hier.Access(cache.ClassLoad, e.addr)
+		if res.NACK {
+			continue // MSHR full; retry next cycle
+		}
+		issued++
+		e.inIssueQ = false
+		c.inFlight++
+		// Remove from queue (order need not be preserved, but keep it
+		// for FIFO fairness among ready loads).
+		c.issueQ = append(c.issueQ[:i], c.issueQ[i+1:]...)
+		c.issueRdy = append(c.issueRdy[:i], c.issueRdy[i+1:]...)
+		i--
+		if res.Hit {
+			c.resolve(idx, now+int64(res.Latency))
+			c.inFlight--
+			continue
+		}
+		c.addTokenWaiter(res.Token, idx)
+	}
+}
+
+func (c *Core) addTokenWaiter(token int, idx int32) {
+	for token >= len(c.tokenWaiters) {
+		c.tokenWaiters = append(c.tokenWaiters, nil)
+	}
+	c.tokenWaiters[token] = append(c.tokenWaiters[token], idx)
+}
+
+// OnFill delivers a memory fill for an MSHR token: all loads waiting on
+// it complete and the hierarchy installs the line. The system simulator
+// calls this from the controller's read-completion callback.
+func (c *Core) OnFill(token int, now int64) {
+	if c.tokenStall == token {
+		c.tokenStall = -1
+	}
+	if token < len(c.tokenWaiters) {
+		ws := c.tokenWaiters[token]
+		c.tokenWaiters[token] = ws[:0]
+		for _, idx := range ws {
+			c.resolve(idx, now+1)
+			c.inFlight--
+		}
+	}
+}
+
+func (c *Core) dispatch(now int64) {
+	if c.tokenStall >= 0 {
+		return // waiting for an instruction-fetch fill
+	}
+	for n := 0; n < c.cfg.DispatchWidth && int(c.count) < c.cfg.ROB; n++ {
+		if c.ifetchNACK || c.sinceIFetch >= c.cfg.IFetchEvery {
+			if line, ok := c.gen.CodeLine(); ok {
+				res := c.hier.Access(cache.ClassIFetch, line)
+				switch {
+				case res.NACK:
+					c.ifetchNACK = true
+					return
+				case !res.Hit:
+					c.ifetchNACK = false
+					c.sinceIFetch = 0
+					c.tokenStall = res.Token
+					return
+				}
+			}
+			c.ifetchNACK = false
+			c.sinceIFetch = 0
+		}
+		c.sinceIFetch++
+
+		var ins trace.Instr
+		c.gen.Next(&ins)
+		pos := c.count
+		idx := c.slot(pos)
+		e := &c.rob[idx]
+		*e = entry{
+			kind:       ins.Kind,
+			addr:       ins.Addr,
+			lat:        int32(ins.Lat),
+			completeAt: unresolved,
+			wakeHead:   nilIdx,
+			wakeNext:   nilIdx,
+		}
+		if e.kind == trace.KindStore {
+			e.lat = 1
+		}
+		c.count++
+
+		// Resolve the register/address dependence.
+		depAt := now // operands ready now if no in-ROB producer
+		depPending := int32(nilIdx)
+		if ins.Dep > 0 && int32(ins.Dep) <= pos {
+			pIdx := c.slot(pos - int32(ins.Dep))
+			p := &c.rob[pIdx]
+			if p.completeAt == unresolved {
+				depPending = pIdx
+			} else if p.completeAt > depAt {
+				depAt = p.completeAt
+			}
+		}
+		switch {
+		case depPending != nilIdx:
+			c.attachWaiter(depPending, idx)
+		case e.kind == trace.KindLoad:
+			c.pushIssue(idx, depAt)
+		default:
+			e.completeAt = depAt + int64(e.lat)
+		}
+	}
+}
+
+// Drained reports whether the core has no in-flight memory activity
+// (used by tests to settle the system).
+func (c *Core) Drained() bool {
+	return c.inFlight == 0 && len(c.storeBuf) == 0 && c.hier.OutstandingMisses() == 0
+}

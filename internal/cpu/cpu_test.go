@@ -1,0 +1,317 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// fixedGen builds a generator-compatible profile that emits only compute
+// instructions (for pure-pipeline tests) or specific patterns.
+func computeProfile() trace.Profile {
+	return trace.Profile{
+		Name: "compute", MemFrac: 0, StoreFrac: 0,
+		WorkingSetKB: 64, Streams: 1, FpFrac: 0, DepFrac: 0,
+	}
+}
+
+func newCore(t *testing.T, p trace.Profile) *Core {
+	t.Helper()
+	hier, err := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(0, DefaultConfig(), gen, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cfg.ROB = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted 0 ROB")
+	}
+	hier, _ := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	gen, _ := trace.NewGenerator(computeProfile(), 0, 1)
+	if _, err := New(0, cfg, gen, hier); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestComputeIPCBoundedByDispatchWidth(t *testing.T) {
+	c := newCore(t, computeProfile())
+	for now := int64(0); now < 10000; now++ {
+		c.Tick(now)
+	}
+	ipc := float64(c.Retired) / 10000
+	if ipc > 4.0 {
+		t.Fatalf("IPC %v exceeds dispatch width 4", ipc)
+	}
+	if ipc < 2.0 {
+		t.Fatalf("IPC %v too low for a dependence-free compute stream", ipc)
+	}
+}
+
+func TestDependenceChainsLowerIPC(t *testing.T) {
+	free := computeProfile()
+	chained := computeProfile()
+	chained.Name = "chained"
+	chained.DepFrac = 1.0
+	chained.FpFrac = 1.0 // 4-cycle ops, fully serialized
+	cf, cc := newCore(t, free), newCore(t, chained)
+	for now := int64(0); now < 10000; now++ {
+		cf.Tick(now)
+		cc.Tick(now)
+	}
+	if cc.Retired*2 >= cf.Retired {
+		t.Fatalf("chained IPC (%d) not well below free IPC (%d)", cc.Retired, cf.Retired)
+	}
+	// A fully serialized 4-cycle chain retires about one per 4 cycles.
+	got := float64(cc.Retired) / 10000
+	if got > 0.35 {
+		t.Errorf("serialized FP chain IPC = %v, want about 0.25", got)
+	}
+}
+
+func TestCacheResidentLoadsRetire(t *testing.T) {
+	p := trace.Profile{
+		Name: "smallws", MemFrac: 0.3, StoreFrac: 0.2,
+		SeqFrac: 0.5, Streams: 2, WorkingSetKB: 64, // fits in the 512KB L2
+		FpFrac: 0, DepFrac: 0.1,
+	}
+	c := newCore(t, p)
+	// Without a memory system, all misses would deadlock; a 64KB
+	// working set stays resident in the L2 after warmup fills.
+	pendingFills := func() {
+		h := c.Hierarchy()
+		for {
+			_, tok, ok := h.NextFetch()
+			if !ok {
+				break
+			}
+			h.FetchAccepted()
+			h.Fill(tok)
+			c.OnFill(tok, 0)
+		}
+	}
+	for now := int64(0); now < 20000; now++ {
+		c.Tick(now)
+		pendingFills()
+	}
+	if c.Retired < 20000 {
+		t.Fatalf("retired only %d instructions", c.Retired)
+	}
+	if c.LoadsRetired == 0 || c.StoresRetired == 0 {
+		t.Fatalf("loads/stores = %d/%d", c.LoadsRetired, c.StoresRetired)
+	}
+}
+
+func TestLoadMissBlocksRetirement(t *testing.T) {
+	p := trace.Profile{
+		Name: "missy", MemFrac: 1.0, StoreFrac: 0,
+		SeqFrac: 1.0, Streams: 1, WorkingSetKB: 65536,
+		FpFrac: 0, DepFrac: 0,
+	}
+	c := newCore(t, p)
+	// Never deliver fills: the core must stall once the ROB fills with
+	// pending loads (bounded by MSHRs for distinct lines).
+	for now := int64(0); now < 5000; now++ {
+		c.Tick(now)
+	}
+	if c.Retired > int64(DefaultConfig().ROB) {
+		t.Fatalf("retired %d instructions with no memory responses", c.Retired)
+	}
+	if c.Drained() {
+		t.Fatal("core claims drained with outstanding misses")
+	}
+}
+
+func TestOnFillWakesLoads(t *testing.T) {
+	p := trace.Profile{
+		Name: "missy2", MemFrac: 1.0, StoreFrac: 0,
+		SeqFrac: 1.0, Streams: 1, WorkingSetKB: 65536,
+		FpFrac: 0, DepFrac: 0,
+	}
+	c := newCore(t, p)
+	served := 0
+	for now := int64(0); now < 20000; now++ {
+		c.Tick(now)
+		h := c.Hierarchy()
+		for {
+			_, tok, ok := h.NextFetch()
+			if !ok {
+				break
+			}
+			h.FetchAccepted()
+			h.Fill(tok)
+			c.OnFill(tok, now)
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no misses generated")
+	}
+	if c.Retired < 10000 {
+		t.Fatalf("retired %d with immediate fills; pipeline is stuck", c.Retired)
+	}
+}
+
+func TestPointerChaseSerializesMisses(t *testing.T) {
+	chase := trace.Profile{
+		Name: "chaser", MemFrac: 0.5, StoreFrac: 0,
+		ChaseFrac: 1.0, Streams: 1, WorkingSetKB: 65536,
+		FpFrac: 0, DepFrac: 0,
+	}
+	streamy := chase
+	streamy.Name = "streamy"
+	streamy.ChaseFrac = 0
+	streamy.SeqFrac = 1.0
+
+	run := func(p trace.Profile) (retired int64, maxOut int) {
+		c := newCore(t, p)
+		const lat = 50
+		type fill struct {
+			tok int
+			at  int64
+		}
+		var fills []fill
+		for now := int64(0); now < 30000; now++ {
+			c.Tick(now)
+			h := c.Hierarchy()
+			for {
+				_, tok, ok := h.NextFetch()
+				if !ok {
+					break
+				}
+				h.FetchAccepted()
+				fills = append(fills, fill{tok, now + lat})
+			}
+			for len(fills) > 0 && fills[0].at <= now {
+				h.Fill(fills[0].tok)
+				c.OnFill(fills[0].tok, now)
+				fills = fills[1:]
+			}
+			if o := c.Hierarchy().OutstandingMisses(); o > maxOut {
+				maxOut = o
+			}
+		}
+		return c.Retired, maxOut
+	}
+	rc, mc := run(chase)
+	rs, ms := run(streamy)
+	if mc > 4 {
+		t.Errorf("pointer chase reached MLP %d, want near 1", mc)
+	}
+	if ms < 8 {
+		t.Errorf("streaming reached MLP %d, want near MSHR count", ms)
+	}
+	if rc*2 > rs {
+		t.Errorf("chase retired %d vs stream %d; serialization too weak", rc, rs)
+	}
+}
+
+func TestStoreBufferBackpressure(t *testing.T) {
+	p := trace.Profile{
+		Name: "storer", MemFrac: 1.0, StoreFrac: 1.0,
+		SeqFrac: 1.0, Streams: 1, WorkingSetKB: 65536,
+		FpFrac: 0, DepFrac: 0,
+	}
+	c := newCore(t, p)
+	// No fills: store misses allocate MSHRs; once MSHRs and the store
+	// buffer fill, retirement stalls.
+	for now := int64(0); now < 5000; now++ {
+		c.Tick(now)
+	}
+	cfg := DefaultConfig()
+	bound := int64(cfg.ROB + cfg.StoreBuffer + 64)
+	if c.Retired > bound {
+		t.Fatalf("retired %d stores without memory; want <= %d", c.Retired, bound)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int64 {
+		c := newCore(t, computeProfile())
+		for now := int64(0); now < 5000; now++ {
+			c.Tick(now)
+		}
+		return c.Retired
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+// TestIFetchStall: a code working set far beyond the cache hierarchy
+// forces instruction-fetch misses to memory; dispatch must stall on the
+// fetch and resume on the fill.
+func TestIFetchStall(t *testing.T) {
+	p := trace.Profile{
+		Name: "bigcode", MemFrac: 0, WorkingSetKB: 64,
+		Streams: 1, CodeKB: 2048, // 2MB of code >> 512KB L2
+	}
+	c := newCore(t, p)
+	// Phase 1: never serve fills; dispatch must wedge on an I-miss.
+	for now := int64(0); now < 3000; now++ {
+		c.Tick(now)
+	}
+	stalled := c.Retired
+	if stalled > 2000 {
+		t.Fatalf("retired %d with unserved I-fetch misses", stalled)
+	}
+	// Phase 2: start serving fills; the core must make progress again.
+	for now := int64(3000); now < 9000; now++ {
+		c.Tick(now)
+		h := c.Hierarchy()
+		for {
+			_, tok, ok := h.NextFetch()
+			if !ok {
+				break
+			}
+			h.FetchAccepted()
+			h.Fill(tok)
+			c.OnFill(tok, now)
+		}
+	}
+	if c.Retired <= stalled+1000 {
+		t.Fatalf("core did not resume after I-fetch fills: %d -> %d", stalled, c.Retired)
+	}
+}
+
+// TestLoadDependenceOnStore: an instruction depending on a store (not a
+// load) must still resolve.
+func TestMixedDependences(t *testing.T) {
+	p := trace.Profile{
+		Name: "mixed", MemFrac: 0.4, StoreFrac: 0.5,
+		SeqFrac: 0.3, ChaseFrac: 0.3, Streams: 1,
+		WorkingSetKB: 64, DepFrac: 0.6,
+	}
+	c := newCore(t, p)
+	for now := int64(0); now < 20000; now++ {
+		c.Tick(now)
+		h := c.Hierarchy()
+		for {
+			_, tok, ok := h.NextFetch()
+			if !ok {
+				break
+			}
+			h.FetchAccepted()
+			h.Fill(tok)
+			c.OnFill(tok, now)
+		}
+	}
+	if c.Retired < 15000 {
+		t.Fatalf("mixed-dependence stream wedged: retired %d", c.Retired)
+	}
+}

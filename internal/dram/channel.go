@@ -1,0 +1,320 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind identifies an SDRAM command at the device level. The values match
+// core.CmdKind so the controller can convert freely.
+type Kind uint8
+
+const (
+	KindNone Kind = iota
+	KindActivate
+	KindRead
+	KindWrite
+	KindPrecharge
+	KindRefresh
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindActivate:
+		return "ACT"
+	case KindRead:
+		return "RD"
+	case KindWrite:
+		return "WR"
+	case KindPrecharge:
+		return "PRE"
+	case KindRefresh:
+		return "REF"
+	}
+	return "NOP"
+}
+
+// minTime is "minus infinity" for last-issue timestamps.
+const minTime = math.MinInt64 / 4
+
+// Config describes the geometry of one memory channel.
+type Config struct {
+	Timing       Timing
+	Ranks        int
+	BanksPerRank int
+	RowsPerBank  int
+	ColsPerRow   int // cache lines per row
+}
+
+// DefaultConfig is the paper's Table 5 memory system: one channel, one
+// rank, eight banks. Rows hold 8KB (128 64-byte lines), a typical DDR2
+// page size.
+func DefaultConfig() Config {
+	return Config{
+		Timing:       DDR2800(),
+		Ranks:        1,
+		BanksPerRank: 8,
+		RowsPerBank:  16384,
+		ColsPerRow:   128,
+	}
+}
+
+// Banks returns the total number of banks on the channel.
+func (c Config) Banks() int { return c.Ranks * c.BanksPerRank }
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Ranks < 1:
+		return fmt.Errorf("dram: ranks must be >= 1, got %d", c.Ranks)
+	case c.BanksPerRank < 1:
+		return fmt.Errorf("dram: banks per rank must be >= 1, got %d", c.BanksPerRank)
+	case c.RowsPerBank < 1 || c.ColsPerRow < 1:
+		return fmt.Errorf("dram: rows/cols must be >= 1, got %d/%d", c.RowsPerBank, c.ColsPerRow)
+	}
+	return nil
+}
+
+// bank is the state machine for one DRAM bank.
+type bank struct {
+	open bool
+	row  int
+
+	lastActivate  int64
+	lastRead      int64
+	lastWrite     int64
+	lastPrecharge int64
+	writeDataEnd  int64 // end of the most recent write burst to this bank
+
+	// busyCycles accumulates cycles the bank spent with a row open or
+	// precharging (activate issue through precharge completion), the
+	// paper's Figure 7 "bank utilization" numerator.
+	busyCycles int64
+}
+
+// Channel is a cycle-accurate model of a single DDR2 channel: all banks,
+// rank-level activate spacing, the shared command bus (one command per
+// cycle, enforced by the caller issuing at most one Issue per cycle), the
+// shared bidirectional data bus, and refresh.
+type Channel struct {
+	cfg   Config
+	banks []bank
+
+	// Per-rank timestamp of the most recent activate, for tRRD.
+	rankLastActivate []int64
+
+	// Channel-global CAS bookkeeping.
+	lastCAS        int64 // most recent read or write issue
+	lastWriteData  int64 // end of most recent write burst (any bank), for tWTR
+	dataBusFreeAt  int64 // first cycle the data bus is free (exclusive end)
+	dataBusBusy    int64 // total data-bus busy cycles
+	refreshUntil   int64 // banks unavailable until this cycle after REF
+	refreshedCount int64
+}
+
+// NewChannel returns a channel with all banks precharged.
+func NewChannel(cfg Config) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Channel{
+		cfg:              cfg,
+		banks:            make([]bank, cfg.Banks()),
+		rankLastActivate: make([]int64, cfg.Ranks),
+	}
+	for i := range ch.banks {
+		b := &ch.banks[i]
+		b.lastActivate = minTime
+		b.lastRead = minTime
+		b.lastWrite = minTime
+		b.lastPrecharge = minTime
+		b.writeDataEnd = minTime
+	}
+	for i := range ch.rankLastActivate {
+		ch.rankLastActivate[i] = minTime
+	}
+	ch.lastCAS = minTime
+	ch.lastWriteData = minTime
+	ch.dataBusFreeAt = minTime
+	ch.refreshUntil = minTime
+	return ch, nil
+}
+
+// Config returns the channel's configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// BankOpen reports whether the bank has an open row, and which.
+func (ch *Channel) BankOpen(bankIdx int) (row int, open bool) {
+	b := &ch.banks[bankIdx]
+	return b.row, b.open
+}
+
+// LastActivate returns the cycle of the bank's most recent activate
+// command (a large negative value if it was never activated). The FQ
+// bank scheduler uses it to apply the priority-inversion bound.
+func (ch *Channel) LastActivate(bankIdx int) int64 {
+	return ch.banks[bankIdx].lastActivate
+}
+
+// rankOf returns the rank index of a flat bank index.
+func (ch *Channel) rankOf(bankIdx int) int { return bankIdx / ch.cfg.BanksPerRank }
+
+// EarliestIssue returns the first cycle at or after which the given
+// command to the given bank satisfies every DDR2 constraint: the bank's
+// own timing, rank-level tRRD, channel-level tCCD and tWTR, data-bus
+// occupancy, and refresh.
+func (ch *Channel) EarliestIssue(kind Kind, bankIdx int) int64 {
+	t := &ch.cfg.Timing
+	b := &ch.banks[bankIdx]
+	e := ch.refreshUntil
+	switch kind {
+	case KindActivate:
+		e = maxi64(e, b.lastPrecharge+int64(t.TRP))
+		e = maxi64(e, b.lastActivate+int64(t.TRC))
+		e = maxi64(e, ch.rankLastActivate[ch.rankOf(bankIdx)]+int64(t.TRRD))
+	case KindRead:
+		e = maxi64(e, b.lastActivate+int64(t.TRCD))
+		e = maxi64(e, ch.lastCAS+int64(t.TCCD))
+		e = maxi64(e, ch.lastWriteData+int64(t.TWTR))
+		e = maxi64(e, ch.dataBusFreeAt-int64(t.TCL))
+	case KindWrite:
+		e = maxi64(e, b.lastActivate+int64(t.TRCD))
+		e = maxi64(e, ch.lastCAS+int64(t.TCCD))
+		e = maxi64(e, ch.dataBusFreeAt-int64(t.TWL))
+	case KindPrecharge:
+		e = maxi64(e, b.lastActivate+int64(t.TRAS))
+		e = maxi64(e, b.lastRead+int64(t.TRTP))
+		e = maxi64(e, b.writeDataEnd+int64(t.TWR))
+	case KindRefresh:
+		// All banks must be precharged; refresh may start tRP after the
+		// latest precharge and tRC after the latest activate. An open
+		// bank pushes the earliest time to "never" (the bank must be
+		// precharged first, at an unknown future cycle).
+		for i := range ch.banks {
+			bb := &ch.banks[i]
+			if bb.open {
+				return 1 << 62
+			}
+			e = maxi64(e, bb.lastPrecharge+int64(t.TRP))
+			e = maxi64(e, bb.lastActivate+int64(t.TRC))
+		}
+	default:
+		panic(fmt.Sprintf("dram: EarliestIssue of %v", kind))
+	}
+	return e
+}
+
+// Ready reports whether the command can issue at cycle now.
+func (ch *Channel) Ready(kind Kind, bankIdx int, now int64) bool {
+	return ch.EarliestIssue(kind, bankIdx) <= now
+}
+
+// Issue applies the command to the device state at cycle now. It panics
+// if the command violates a timing constraint or the bank state (these
+// indicate controller bugs, not recoverable conditions). For reads it
+// returns the cycle at which the data burst completes (the load-to-use
+// response time at the controller); for other commands it returns 0.
+func (ch *Channel) Issue(kind Kind, bankIdx, row int, now int64) int64 {
+	if e := ch.EarliestIssue(kind, bankIdx); e > now {
+		panic(fmt.Sprintf("dram: %v bank %d issued at %d, earliest legal %d", kind, bankIdx, now, e))
+	}
+	t := &ch.cfg.Timing
+	b := &ch.banks[bankIdx]
+	switch kind {
+	case KindActivate:
+		if b.open {
+			panic(fmt.Sprintf("dram: activate to open bank %d", bankIdx))
+		}
+		b.open = true
+		b.row = row
+		b.lastActivate = now
+		ch.rankLastActivate[ch.rankOf(bankIdx)] = now
+	case KindRead:
+		if !b.open || b.row != row {
+			panic(fmt.Sprintf("dram: read bank %d row %d, open=%v row=%d", bankIdx, row, b.open, b.row))
+		}
+		b.lastRead = now
+		ch.lastCAS = now
+		end := now + int64(t.TCL) + int64(t.BL2)
+		ch.dataBusFreeAt = end
+		ch.dataBusBusy += int64(t.BL2)
+		return end
+	case KindWrite:
+		if !b.open || b.row != row {
+			panic(fmt.Sprintf("dram: write bank %d row %d, open=%v row=%d", bankIdx, row, b.open, b.row))
+		}
+		b.lastWrite = now
+		ch.lastCAS = now
+		end := now + int64(t.TWL) + int64(t.BL2)
+		b.writeDataEnd = end
+		ch.lastWriteData = end
+		ch.dataBusFreeAt = end
+		ch.dataBusBusy += int64(t.BL2)
+		return end
+	case KindPrecharge:
+		if !b.open {
+			panic(fmt.Sprintf("dram: precharge closed bank %d", bankIdx))
+		}
+		b.open = false
+		b.lastPrecharge = now
+		// The bank was busy from its activate until the precharge
+		// completes tRP cycles from now.
+		b.busyCycles += now + int64(t.TRP) - b.lastActivate
+	case KindRefresh:
+		for i := range ch.banks {
+			if ch.banks[i].open {
+				panic(fmt.Sprintf("dram: refresh with bank %d open", i))
+			}
+		}
+		ch.refreshUntil = now + int64(t.TRFC)
+		ch.refreshedCount++
+	default:
+		panic(fmt.Sprintf("dram: Issue of %v", kind))
+	}
+	return 0
+}
+
+// AllBanksClosed reports whether every bank is precharged.
+func (ch *Channel) AllBanksClosed() bool {
+	for i := range ch.banks {
+		if ch.banks[i].open {
+			return false
+		}
+	}
+	return true
+}
+
+// InRefresh reports whether a refresh is in progress at cycle now.
+func (ch *Channel) InRefresh(now int64) bool { return now < ch.refreshUntil }
+
+// Refreshes returns the number of refresh commands issued.
+func (ch *Channel) Refreshes() int64 { return ch.refreshedCount }
+
+// DataBusBusyCycles returns the cumulative data bus occupancy, the
+// numerator of the paper's data bus utilization metric.
+func (ch *Channel) DataBusBusyCycles() int64 { return ch.dataBusBusy }
+
+// BankBusyCycles returns the cumulative busy cycles summed over all
+// banks as of cycle now; banks still open contribute their open time so
+// far. This is the numerator of the paper's Figure 7 bank utilization.
+func (ch *Channel) BankBusyCycles(now int64) int64 {
+	var sum int64
+	for i := range ch.banks {
+		b := &ch.banks[i]
+		sum += b.busyCycles
+		if b.open {
+			sum += now - b.lastActivate
+		}
+	}
+	return sum
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

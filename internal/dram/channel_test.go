@@ -1,0 +1,309 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testChannel(t *testing.T) *Channel {
+	t.Helper()
+	ch, err := NewChannel(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestChannelBasicReadSequence(t *testing.T) {
+	ch := testChannel(t)
+	tt := DDR2800()
+
+	if !ch.Ready(KindActivate, 0, 0) {
+		t.Fatal("fresh bank not ready for activate")
+	}
+	ch.Issue(KindActivate, 0, 42, 0)
+	if row, open := ch.BankOpen(0); !open || row != 42 {
+		t.Fatalf("after activate: open=%v row=%d", open, row)
+	}
+
+	// Read must wait tRCD after the activate.
+	if ch.Ready(KindRead, 0, int64(tt.TRCD)-1) {
+		t.Error("read ready before tRCD")
+	}
+	if !ch.Ready(KindRead, 0, int64(tt.TRCD)) {
+		t.Error("read not ready at tRCD")
+	}
+	end := ch.Issue(KindRead, 0, 42, int64(tt.TRCD))
+	if want := int64(tt.TRCD + tt.TCL + tt.BL2); end != want {
+		t.Errorf("read data end = %d, want %d", end, want)
+	}
+	if got := ch.DataBusBusyCycles(); got != int64(tt.BL2) {
+		t.Errorf("data bus busy = %d, want %d", got, int64(tt.BL2))
+	}
+
+	// Precharge must wait tRAS after activate and tRTP after the read.
+	if ch.Ready(KindPrecharge, 0, int64(tt.TRAS)-1) {
+		t.Error("precharge ready before tRAS")
+	}
+	if !ch.Ready(KindPrecharge, 0, int64(tt.TRAS)) {
+		t.Error("precharge not ready at tRAS")
+	}
+	ch.Issue(KindPrecharge, 0, 0, int64(tt.TRAS))
+	if _, open := ch.BankOpen(0); open {
+		t.Error("bank still open after precharge")
+	}
+
+	// Re-activate must wait tRP after precharge and tRC after activate.
+	at := int64(tt.TRAS + tt.TRP)
+	if tRC := int64(tt.TRC); tRC > at {
+		at = tRC
+	}
+	if ch.Ready(KindActivate, 0, at-1) {
+		t.Error("activate ready before tRP/tRC")
+	}
+	if !ch.Ready(KindActivate, 0, at) {
+		t.Error("activate not ready at tRP/tRC")
+	}
+}
+
+func TestChannelRowMismatchPanics(t *testing.T) {
+	ch := testChannel(t)
+	ch.Issue(KindActivate, 0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read of wrong row did not panic")
+		}
+	}()
+	ch.Issue(KindRead, 0, 2, 10)
+}
+
+func TestChannelEarlyIssuePanics(t *testing.T) {
+	ch := testChannel(t)
+	ch.Issue(KindActivate, 0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read before tRCD did not panic")
+		}
+	}()
+	ch.Issue(KindRead, 0, 1, 1)
+}
+
+func TestChannelTRRDAcrossBanks(t *testing.T) {
+	ch := testChannel(t)
+	tt := DDR2800()
+	ch.Issue(KindActivate, 0, 1, 0)
+	if ch.Ready(KindActivate, 1, int64(tt.TRRD)-1) {
+		t.Error("second activate ready before tRRD")
+	}
+	if !ch.Ready(KindActivate, 1, int64(tt.TRRD)) {
+		t.Error("second activate not ready at tRRD")
+	}
+}
+
+func TestChannelTCCDBetweenCAS(t *testing.T) {
+	ch := testChannel(t)
+	tt := DDR2800()
+	ch.Issue(KindActivate, 0, 1, 0)
+	ch.Issue(KindActivate, 1, 1, int64(tt.TRRD))
+	rdAt := int64(tt.TRRD + tt.TRCD)
+	ch.Issue(KindRead, 0, 1, rdAt)
+	if ch.Ready(KindRead, 1, rdAt+int64(tt.TCCD)-1) {
+		t.Error("second read ready before tCCD")
+	}
+	// At rdAt+tCCD, also check the data bus: second burst would start at
+	// +tCL and the first ends at rdAt+tCL+BL2, so tCCD < BL2 delays it.
+	earliest := ch.EarliestIssue(KindRead, 1)
+	wantBus := rdAt + int64(tt.BL2) // back-to-back bursts
+	if earliest != wantBus {
+		t.Errorf("second read earliest = %d, want %d (data bus limited)", earliest, wantBus)
+	}
+}
+
+func TestChannelWriteToReadTurnaround(t *testing.T) {
+	ch := testChannel(t)
+	tt := DDR2800()
+	ch.Issue(KindActivate, 0, 1, 0)
+	wrAt := int64(tt.TRCD)
+	ch.Issue(KindWrite, 0, 1, wrAt)
+	wrEnd := wrAt + int64(tt.TWL+tt.BL2)
+	want := wrEnd + int64(tt.TWTR)
+	if got := ch.EarliestIssue(KindRead, 0); got != want {
+		t.Errorf("read after write earliest = %d, want %d (tWTR after write burst)", got, want)
+	}
+	// Write recovery: precharge waits tWR after the write burst.
+	if got, want := ch.EarliestIssue(KindPrecharge, 0), wrEnd+int64(tt.TWR); got != want {
+		t.Errorf("precharge after write earliest = %d, want %d", got, want)
+	}
+}
+
+func TestChannelRefresh(t *testing.T) {
+	ch := testChannel(t)
+	tt := DDR2800()
+	ch.Issue(KindActivate, 0, 1, 0)
+	if ch.Ready(KindRefresh, 0, int64(tt.TRAS)+int64(tt.TRP)) {
+		t.Error("refresh ready with a bank open")
+	}
+	ch.Issue(KindPrecharge, 0, 0, int64(tt.TRAS))
+	at := int64(tt.TRAS + tt.TRP)
+	if tRC := int64(tt.TRC); tRC > at {
+		at = tRC
+	}
+	if !ch.Ready(KindRefresh, 0, at) {
+		t.Fatalf("refresh not ready at %d with all banks closed", at)
+	}
+	ch.Issue(KindRefresh, 0, 0, at)
+	if !ch.InRefresh(at + 1) {
+		t.Error("not in refresh after REF issue")
+	}
+	if ch.Ready(KindActivate, 3, at+int64(tt.TRFC)-1) {
+		t.Error("activate ready during tRFC")
+	}
+	if !ch.Ready(KindActivate, 3, at+int64(tt.TRFC)) {
+		t.Error("activate not ready after tRFC")
+	}
+	if ch.Refreshes() != 1 {
+		t.Errorf("refresh count = %d, want 1", ch.Refreshes())
+	}
+}
+
+func TestChannelBankBusyAccounting(t *testing.T) {
+	ch := testChannel(t)
+	tt := DDR2800()
+	ch.Issue(KindActivate, 2, 7, 100)
+	// Open bank contributes its open time so far.
+	if got := ch.BankBusyCycles(150); got != 50 {
+		t.Errorf("busy at 150 = %d, want 50", got)
+	}
+	ch.Issue(KindRead, 2, 7, 100+int64(tt.TRCD))
+	preAt := 100 + int64(tt.TRAS)
+	ch.Issue(KindPrecharge, 2, 0, preAt)
+	// After precharge: busy = (preAt + tRP) - actAt.
+	want := preAt + int64(tt.TRP) - 100
+	if got := ch.BankBusyCycles(1000); got != want {
+		t.Errorf("busy after precharge = %d, want %d", got, want)
+	}
+}
+
+func TestChannelConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Ranks = 0
+	if _, err := NewChannel(bad); err == nil {
+		t.Error("NewChannel accepted 0 ranks")
+	}
+	bad = DefaultConfig()
+	bad.BanksPerRank = 0
+	if _, err := NewChannel(bad); err == nil {
+		t.Error("NewChannel accepted 0 banks")
+	}
+	bad = DefaultConfig()
+	bad.Timing.TCL = 0
+	if _, err := NewChannel(bad); err == nil {
+		t.Error("NewChannel accepted invalid timing")
+	}
+}
+
+// TestChannelRandomLegalScheduleInvariants drives the channel with a
+// random but legality-respecting command stream and checks global
+// invariants with a shadow model: data bursts never overlap, rows open
+// and close consistently, and EarliestIssue never lies (issuing at the
+// reported earliest time never panics).
+func TestChannelRandomLegalScheduleInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		ch := testChannel(t)
+		nbanks := ch.Config().Banks()
+		now := int64(0)
+		type burst struct{ start, end int64 }
+		var bursts []burst
+		openRows := make(map[int]int)
+		for step := 0; step < 400; step++ {
+			bank := rng.Intn(nbanks)
+			var kind Kind
+			if _, open := ch.BankOpen(bank); open {
+				kind = []Kind{KindRead, KindWrite, KindPrecharge}[rng.Intn(3)]
+			} else {
+				kind = KindActivate
+			}
+			earliest := ch.EarliestIssue(kind, bank)
+			if earliest > now {
+				// Sometimes jump straight to the earliest legal cycle,
+				// sometimes beyond it.
+				now = earliest + int64(rng.Intn(3))
+			}
+			row := rng.Intn(64)
+			if r, open := ch.BankOpen(bank); open {
+				row = r
+			}
+			end := ch.Issue(kind, bank, row, now)
+			switch kind {
+			case KindActivate:
+				openRows[bank] = row
+			case KindPrecharge:
+				delete(openRows, bank)
+			case KindRead:
+				bursts = append(bursts, burst{end - int64(ch.Config().Timing.BL2), end})
+			case KindWrite:
+				start := now + int64(ch.Config().Timing.TWL)
+				bursts = append(bursts, burst{start, start + int64(ch.Config().Timing.BL2)})
+			}
+			now++ // one command per cycle
+		}
+		// Invariant: data bursts are disjoint and ordered.
+		for i := 1; i < len(bursts); i++ {
+			if bursts[i].start < bursts[i-1].end {
+				t.Fatalf("trial %d: data bursts overlap: %v then %v", trial, bursts[i-1], bursts[i])
+			}
+		}
+		// Invariant: shadow row state agrees with the model.
+		for b := 0; b < nbanks; b++ {
+			row, open := ch.BankOpen(b)
+			wantRow, wantOpen := openRows[b]
+			if open != wantOpen || (open && row != wantRow) {
+				t.Fatalf("trial %d: bank %d state open=%v row=%d, want open=%v row=%d",
+					trial, b, open, row, wantOpen, wantRow)
+			}
+		}
+	}
+}
+
+func TestMultiRankTRRDIndependence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ranks = 2
+	cfg.BanksPerRank = 4
+	ch, err := NewChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Banks 0-3 are rank 0, banks 4-7 are rank 1. An activate on rank 0
+	// does not impose tRRD on rank 1.
+	ch.Issue(KindActivate, 0, 1, 0)
+	if !ch.Ready(KindActivate, 4, 1) {
+		t.Error("cross-rank activate blocked by tRRD")
+	}
+	if ch.Ready(KindActivate, 1, 1) {
+		t.Error("same-rank activate ignored tRRD")
+	}
+}
+
+func TestBankCountAcrossRanks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ranks = 2
+	if cfg.Banks() != 16 {
+		t.Fatalf("banks = %d", cfg.Banks())
+	}
+	ch, err := NewChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 16 banks are independently addressable.
+	now := int64(0)
+	for b := 0; b < 16; b++ {
+		now = ch.EarliestIssue(KindActivate, b)
+		ch.Issue(KindActivate, b, b, now)
+	}
+	for b := 0; b < 16; b++ {
+		if row, open := ch.BankOpen(b); !open || row != b {
+			t.Fatalf("bank %d: open=%v row=%d", b, open, row)
+		}
+	}
+}

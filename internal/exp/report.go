@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report bundles the full evaluation: every figure plus the paper's
+// headline statistics.
+type Report struct {
+	Fig1    Figure1Result
+	Fig4    Figure4Result
+	TwoCore TwoCoreResult // Figures 5, 6, 7
+	Fig8    Figure8Result
+	Fig9    Figure9Result
+}
+
+// All runs the complete evaluation.
+func (r *Runner) All() (Report, error) {
+	var rep Report
+	var err error
+	if rep.Fig4, err = r.Figure4(); err != nil {
+		return rep, err
+	}
+	if rep.Fig1, err = r.Figure1(); err != nil {
+		return rep, err
+	}
+	if rep.TwoCore, err = r.TwoCore(); err != nil {
+		return rep, err
+	}
+	if rep.Fig8, err = r.Figure8(); err != nil {
+		return rep, err
+	}
+	if rep.Fig9, err = r.Figure9(rep.Fig8); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Headline summarizes the abstract's claims against the measured run.
+type Headline struct {
+	// Two-core (Figures 5-7).
+	TwoCoreQoSMet, TwoCoreQoSTotal int     // paper: 18 / 19
+	TwoCoreWorstNormIPC            float64 // paper: vpr at .94
+	TwoCoreAvgImprovement          float64 // paper: +31%
+	TwoCoreMaxImprovement          float64 // paper: +76%
+	TwoCoreFQBusUtil               float64 // paper: 92%
+
+	// Four-core (Figures 8-9).
+	FourCoreQoSMet, FourCoreQoSTotal int     // paper: all threads
+	FourCoreAvgImprovement           float64 // paper: +14%
+	FourCoreMaxImprovement           float64 // paper: +41%
+	VarianceFRFCFS                   float64 // paper: .20
+	VarianceFQVFTF                   float64 // paper: .0058
+}
+
+// Headline derives the summary statistics from a full report.
+func (rep Report) Headline() Headline {
+	var h Headline
+	h.TwoCoreQoSMet, h.TwoCoreQoSTotal = rep.TwoCore.QoSCount("FQ-VFTF", 0.95)
+	worst := 10.0
+	for _, row := range rep.TwoCore.ByPolicy("FQ-VFTF") {
+		if row.NormIPC < worst {
+			worst = row.NormIPC
+		}
+	}
+	h.TwoCoreWorstNormIPC = worst
+	h.TwoCoreAvgImprovement, h.TwoCoreMaxImprovement = rep.TwoCore.Improvement("FQ-VFTF", "FR-FCFS")
+	h.TwoCoreFQBusUtil = rep.TwoCore.MeanAggBusUtil("FQ-VFTF")
+	h.FourCoreQoSMet, h.FourCoreQoSTotal = rep.Fig8.QoSCount("FQ-VFTF", 0.95)
+	_, h.FourCoreAvgImprovement, h.FourCoreMaxImprovement = rep.Fig8.Improvements("FQ-VFTF", "FR-FCFS")
+	h.VarianceFRFCFS = rep.Fig9.Variance("FR-FCFS")
+	h.VarianceFQVFTF = rep.Fig9.Variance("FQ-VFTF")
+	return h
+}
+
+// Render writes every figure and the headline comparison.
+func (rep Report) Render(w io.Writer) {
+	rep.Fig1.Render(w)
+	fmt.Fprintln(w)
+	rep.Fig4.Render(w)
+	fmt.Fprintln(w)
+	rep.TwoCore.RenderFigure5(w)
+	fmt.Fprintln(w)
+	rep.TwoCore.RenderFigure6(w)
+	fmt.Fprintln(w)
+	rep.TwoCore.RenderFigure7(w)
+	fmt.Fprintln(w)
+	rep.Fig8.Render(w)
+	fmt.Fprintln(w)
+	rep.Fig9.Render(w)
+	fmt.Fprintln(w)
+	rep.Headline().Render(w)
+}
+
+// Render writes the paper-vs-measured headline table.
+func (h Headline) Render(w io.Writer) {
+	fmt.Fprintf(w, "Headline: paper vs measured\n")
+	fmt.Fprintf(w, "%-46s %10s %10s\n", "metric", "paper", "measured")
+	row := func(name, paper, measured string) {
+		fmt.Fprintf(w, "%-46s %10s %10s\n", name, paper, measured)
+	}
+	row("2-core QoS met (normIPC >= ~0.95)", "18/19",
+		fmt.Sprintf("%d/%d", h.TwoCoreQoSMet, h.TwoCoreQoSTotal))
+	row("2-core worst FQ-VFTF normalized IPC", "0.94", fmt.Sprintf("%.2f", h.TwoCoreWorstNormIPC))
+	row("2-core avg FQ improvement vs FR-FCFS", "+31%", fmt.Sprintf("%+.0f%%", h.TwoCoreAvgImprovement*100))
+	row("2-core max FQ improvement", "+76%", fmt.Sprintf("%+.0f%%", h.TwoCoreMaxImprovement*100))
+	row("2-core FQ aggregate data bus utilization", "92%", fmt.Sprintf("%.0f%%", h.TwoCoreFQBusUtil*100))
+	row("4-core QoS met (all threads)", "16/16",
+		fmt.Sprintf("%d/%d", h.FourCoreQoSMet, h.FourCoreQoSTotal))
+	row("4-core avg FQ improvement vs FR-FCFS", "+14%", fmt.Sprintf("%+.0f%%", h.FourCoreAvgImprovement*100))
+	row("4-core max FQ improvement", "+41%", fmt.Sprintf("%+.0f%%", h.FourCoreMaxImprovement*100))
+	row("normalized util variance, FR-FCFS", "0.20", fmt.Sprintf("%.4f", h.VarianceFRFCFS))
+	row("normalized util variance, FQ-VFTF", "0.0058", fmt.Sprintf("%.4f", h.VarianceFQVFTF))
+}

@@ -1,0 +1,206 @@
+// Package exp reproduces the paper's evaluation: every figure of
+// Section 4 has a driver that assembles the workloads, runs the
+// simulator with the appropriate schedulers and baselines, and reports
+// the same rows/series the paper plots. DESIGN.md maps each figure to
+// its driver; EXPERIMENTS.md records paper-versus-measured values.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config controls simulation lengths for all experiments.
+type Config struct {
+	// Warmup and Window are the per-run warmup and measurement cycles.
+	Warmup, Window int64
+
+	// Seed perturbs the trace generators.
+	Seed uint64
+
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS via
+	// unbounded goroutines; runs are independent and deterministic).
+	Parallel int
+}
+
+// DefaultConfig returns measurement windows long enough for stable
+// figures (a few seconds per multi-core run).
+func DefaultConfig() Config {
+	return Config{Warmup: 50_000, Window: 400_000}
+}
+
+// QuickConfig returns short windows for tests.
+func QuickConfig() Config {
+	return Config{Warmup: 20_000, Window: 120_000}
+}
+
+// Runner executes experiments, memoizing runs shared between figures
+// (solo runs feed Figures 4, 5, 8, and 9).
+type Runner struct {
+	cfg Config
+
+	mu    sync.Mutex
+	memo  map[string]sim.Result
+	limit chan struct{}
+}
+
+// NewRunner returns a Runner over the given configuration.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Warmup <= 0 || cfg.Window <= 0 {
+		def := DefaultConfig()
+		if cfg.Warmup <= 0 {
+			cfg.Warmup = def.Warmup
+		}
+		if cfg.Window <= 0 {
+			cfg.Window = def.Window
+		}
+	}
+	n := cfg.Parallel
+	if n <= 0 {
+		n = 8
+	}
+	return &Runner{
+		cfg:   cfg,
+		memo:  make(map[string]sim.Result),
+		limit: make(chan struct{}, n),
+	}
+}
+
+// policies are the schedulers the evaluation compares.
+var policies = []struct {
+	Name    string
+	Factory sim.PolicyFactory
+}{
+	{"FR-FCFS", sim.FRFCFS},
+	{"FR-VFTF", sim.FRVFTF},
+	{"FQ-VFTF", sim.FQVFTF},
+}
+
+// PolicyNames returns the evaluation's scheduler names in order.
+func PolicyNames() []string { return []string{"FR-FCFS", "FR-VFTF", "FQ-VFTF"} }
+
+// run executes (or recalls) one simulation.
+func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
+	r.mu.Lock()
+	if res, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	r.limit <- struct{}{}
+	defer func() { <-r.limit }()
+
+	// Re-check after acquiring the slot (another goroutine may have
+	// computed it meanwhile).
+	r.mu.Lock()
+	if res, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	cfg.Seed = r.cfg.Seed
+	res, err := sim.Run(cfg, r.cfg.Warmup, r.cfg.Window)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("exp: run %s: %w", key, err)
+	}
+	r.mu.Lock()
+	r.memo[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Solo runs one benchmark alone on a system whose memory timing is
+// uniformly scaled by the integer factor scale. scale=1 is the physical
+// system (Figure 4); scale=N is the paper's private virtual-time
+// baseline for an N-processor CMP.
+func (r *Runner) Solo(bench string, scale int) (sim.ThreadResult, error) {
+	p, err := trace.ByName(bench)
+	if err != nil {
+		return sim.ThreadResult{}, err
+	}
+	cfg := sim.Config{Workload: []trace.Profile{p}}
+	if scale != 1 {
+		cfg.Mem.DRAM = dram.DefaultConfig()
+		cfg.Mem.DRAM.Timing = dram.DDR2800().Scale(scale)
+	}
+	res, err := r.run(fmt.Sprintf("solo/%s/x%d", bench, scale), cfg)
+	if err != nil {
+		return sim.ThreadResult{}, err
+	}
+	return res.Threads[0], nil
+}
+
+// CoRun runs the benchmarks together under the named policy on the
+// physical memory system with equal shares.
+func (r *Runner) CoRun(benches []string, policy string) (sim.Result, error) {
+	factory, err := sim.PolicyByName(policy)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	ps := make([]trace.Profile, len(benches))
+	for i, b := range benches {
+		p, err := trace.ByName(b)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		ps[i] = p
+	}
+	key := fmt.Sprintf("co/%s/%s", strings.Join(benches, "+"), policy)
+	return r.run(key, sim.Config{Workload: ps, Policy: factory})
+}
+
+// parallelDo runs fn(i) for i in [0, n) concurrently and returns the
+// first error.
+func parallelDo(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allBenchmarks returns the suite names in Figure 4 order.
+func allBenchmarks() []string { return trace.Names() }
+
+// subjectBenchmarks returns the Figure 5 subjects: every suite
+// benchmark except the background thread (art), in Figure 4 order.
+func subjectBenchmarks() []string {
+	var out []string
+	for _, n := range trace.Names() {
+		if n != "art" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sortedKeys is a test hook: the memo keys of everything run so far.
+func (r *Runner) sortedKeys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.memo))
+	for k := range r.memo {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

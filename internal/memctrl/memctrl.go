@@ -1,0 +1,664 @@
+// Package memctrl implements the high-performance memory controller of
+// the paper's Section 2.2 (Figure 2): per-thread partitioned transaction
+// and write buffers with NACK back-pressure, a logical bank scheduler per
+// DRAM bank, and a channel scheduler that issues at most one SDRAM
+// command per channel per cycle. The scheduling algorithm itself is
+// pluggable (core.Policy): FR-FCFS, FR-VFTF, FQ-VFTF, and friends.
+//
+// The paper evaluates a single memory channel and defers multi-channel
+// systems to future work; this controller implements that extension
+// (Config.Channels > 1): channels are line-interleaved, each has its own
+// command/data buses and bank schedulers, and the VTMS policies keep one
+// channel finish-time register per channel.
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/addrmap"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/stats"
+)
+
+// RowPolicy selects what the controller does with a row buffer after all
+// pending accesses to the row complete.
+type RowPolicy uint8
+
+const (
+	// ClosedRow precharges the bank as soon as no pending request
+	// targets the open row (the paper's default, after Natarajan et
+	// al.'s multiprocessor result).
+	ClosedRow RowPolicy = iota
+	// OpenRow leaves rows open until a conflicting request arrives.
+	OpenRow
+)
+
+func (p RowPolicy) String() string {
+	if p == ClosedRow {
+		return "closed"
+	}
+	return "open"
+}
+
+// Config configures a memory controller.
+type Config struct {
+	// DRAM describes one memory channel.
+	DRAM dram.Config
+
+	// Channels is the number of line-interleaved memory channels
+	// (0 or 1 = the paper's single-channel system).
+	Channels int
+
+	// Threads is the number of hardware threads sharing the controller.
+	Threads int
+
+	// ReadEntriesPerThread is the per-thread transaction buffer
+	// partition (Table 5: 16).
+	ReadEntriesPerThread int
+
+	// WriteEntriesPerThread is the per-thread write buffer partition
+	// (Table 5: 8).
+	WriteEntriesPerThread int
+
+	// SharedBuffers disables the paper's static per-thread partitioning
+	// and pools the transaction and write buffers across threads
+	// (capacity Threads x entries). The paper leaves flexible buffer
+	// partitioning to future research; pooling is the simplest such
+	// policy and the ablation benchmark shows it erodes QoS isolation.
+	SharedBuffers bool
+
+	// RowPolicy is the row buffer management policy.
+	RowPolicy RowPolicy
+
+	// Mapper decodes line addresses; nil selects the XOR mapping over
+	// the DRAM geometry.
+	Mapper addrmap.Mapper
+
+	// DisableRefresh turns off periodic refresh (useful in unit tests
+	// that need exact cycle counts).
+	DisableRefresh bool
+}
+
+// DefaultConfig returns the paper's Table 5 controller configuration for
+// the given thread count.
+func DefaultConfig(threads int) Config {
+	return Config{
+		DRAM:                  dram.DefaultConfig(),
+		Channels:              1,
+		Threads:               threads,
+		ReadEntriesPerThread:  16,
+		WriteEntriesPerThread: 8,
+		RowPolicy:             ClosedRow,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Channels < 0 || c.Channels&(c.Channels-1) != 0 && c.Channels != 0:
+		return fmt.Errorf("memctrl: channels must be a power of two, got %d", c.Channels)
+	case c.Threads < 1:
+		return fmt.Errorf("memctrl: threads must be >= 1, got %d", c.Threads)
+	case c.ReadEntriesPerThread < 1:
+		return fmt.Errorf("memctrl: read entries per thread must be >= 1, got %d", c.ReadEntriesPerThread)
+	case c.WriteEntriesPerThread < 1:
+		return fmt.Errorf("memctrl: write entries per thread must be >= 1, got %d", c.WriteEntriesPerThread)
+	}
+	return nil
+}
+
+// channels returns the effective channel count.
+func (c Config) channels() int {
+	if c.Channels < 1 {
+		return 1
+	}
+	return c.Channels
+}
+
+// TotalBanks returns the flat bank count across all channels.
+func (c Config) TotalBanks() int { return c.channels() * c.DRAM.Banks() }
+
+// ThreadStats accumulates per-thread controller statistics.
+type ThreadStats struct {
+	ReadsAccepted  int64
+	WritesAccepted int64
+	ReadsDone      int64
+	WritesDone     int64
+	ReadLatencySum int64 // real cycles, arrival to data burst end
+	DataBusCycles  int64 // data bus cycles consumed by this thread
+	ReadNACKs      int64
+	WriteNACKs     int64
+	RowHits        int64 // requests that began service as row hits
+	RowConflicts   int64 // requests whose service began with a precharge
+	RowClosed      int64 // requests that began service on a closed bank
+
+	// LatHist is the read-latency distribution (8-cycle buckets); the
+	// priority-inversion analysis cares about the tail, not the mean.
+	LatHist *stats.Histogram
+}
+
+// ReadLatencyQuantile returns an upper bound on the q-quantile of the
+// thread's read latency (0 when no reads completed).
+func (s *ThreadStats) ReadLatencyQuantile(q float64) float64 {
+	if s.LatHist == nil {
+		return 0
+	}
+	return s.LatHist.Quantile(q)
+}
+
+// AvgReadLatency returns the mean read latency in cycles, or 0 if no
+// reads completed.
+func (s *ThreadStats) AvgReadLatency() float64 {
+	if s.ReadsDone == 0 {
+		return 0
+	}
+	return float64(s.ReadLatencySum) / float64(s.ReadsDone)
+}
+
+// inflightRead is a read whose data burst is in progress. Within one
+// channel completions are FIFO (data-bus occupancy is monotone); across
+// channels the controller keeps one queue per channel.
+type inflightRead struct {
+	req    *core.Request
+	doneAt int64
+}
+
+// candidate is one bank scheduler's offer to the channel scheduler.
+type candidate struct {
+	req   *core.Request // nil for idle-close precharges
+	kind  dram.Kind
+	bank  int // flat bank index
+	row   int
+	key   int64
+	arr   int64
+	id    uint64
+	isCAS bool
+}
+
+// Controller is the shared memory controller.
+type Controller struct {
+	cfg    Config
+	policy core.Policy
+	chans  []*dram.Channel
+	mapper addrmap.Mapper
+
+	banksPerChan int
+
+	pending      [][]*core.Request // per flat bank
+	pendingTotal int
+
+	readOcc                     []int
+	writeOcc                    []int
+	readOccTotal, writeOccTotal int
+
+	inflight     [][]inflightRead // per channel, FIFO
+	inflightHead []int
+
+	// OnReadDone is invoked when a read's data burst completes; set by
+	// the memory-side client (the cache hierarchy) before simulation.
+	OnReadDone func(req *core.Request, now int64)
+
+	nextID uint64
+	vclock int64 // paper Section 3.1: real clock, paused during refresh
+
+	refreshWanted []bool
+	nextRefreshAt []int64
+
+	stats    []ThreadStats
+	cmdCount [6]int64 // by dram.Kind
+
+	// scratch buffer reused across cycles to avoid allocation
+	cands []candidate
+}
+
+// New returns a controller using the given scheduling policy.
+func New(cfg Config, policy core.Policy) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nch := cfg.channels()
+	chans := make([]*dram.Channel, nch)
+	for i := range chans {
+		ch, err := dram.NewChannel(cfg.DRAM)
+		if err != nil {
+			return nil, err
+		}
+		chans[i] = ch
+	}
+	if cs, ok := policy.(core.ChannelSetter); ok && nch > 1 {
+		cs.SetChannels(nch)
+	}
+	mapper := cfg.Mapper
+	if mapper == nil {
+		g := addrmap.Geometry{
+			Channels:     nch,
+			Ranks:        cfg.DRAM.Ranks,
+			BanksPerRank: cfg.DRAM.BanksPerRank,
+			RowsPerBank:  cfg.DRAM.RowsPerBank,
+			ColsPerRow:   cfg.DRAM.ColsPerRow,
+		}
+		m, err := addrmap.NewXOR(g)
+		if err != nil {
+			return nil, err
+		}
+		mapper = m
+	}
+	c := &Controller{
+		cfg:           cfg,
+		policy:        policy,
+		chans:         chans,
+		mapper:        mapper,
+		banksPerChan:  cfg.DRAM.Banks(),
+		pending:       make([][]*core.Request, nch*cfg.DRAM.Banks()),
+		readOcc:       make([]int, cfg.Threads),
+		writeOcc:      make([]int, cfg.Threads),
+		inflight:      make([][]inflightRead, nch),
+		inflightHead:  make([]int, nch),
+		refreshWanted: make([]bool, nch),
+		nextRefreshAt: make([]int64, nch),
+		stats:         make([]ThreadStats, cfg.Threads),
+		cands:         make([]candidate, 0, cfg.DRAM.Banks()),
+	}
+	for i := range c.stats {
+		c.stats[i].LatHist = stats.NewHistogram(8, 512) // up to 4096 cycles
+	}
+	for i := range c.nextRefreshAt {
+		c.nextRefreshAt[i] = int64(cfg.DRAM.Timing.TREF)
+		if cfg.DisableRefresh {
+			c.nextRefreshAt[i] = 1 << 60
+		}
+	}
+	return c, nil
+}
+
+// Policy returns the active scheduling policy.
+func (c *Controller) Policy() core.Policy { return c.policy }
+
+// Channel exposes channel 0's DRAM device model (single-channel tests).
+func (c *Controller) Channel() *dram.Channel { return c.chans[0] }
+
+// Channels returns the channel count.
+func (c *Controller) Channels() int { return len(c.chans) }
+
+// DataBusBusyCycles returns the data-bus occupancy summed over channels.
+func (c *Controller) DataBusBusyCycles() int64 {
+	var sum int64
+	for _, ch := range c.chans {
+		sum += ch.DataBusBusyCycles()
+	}
+	return sum
+}
+
+// BankBusyCycles returns the busy cycles summed over every bank of every
+// channel as of cycle now.
+func (c *Controller) BankBusyCycles(now int64) int64 {
+	var sum int64
+	for _, ch := range c.chans {
+		sum += ch.BankBusyCycles(now)
+	}
+	return sum
+}
+
+// Stats returns the accumulated statistics for a thread.
+func (c *Controller) Stats(thread int) *ThreadStats { return &c.stats[thread] }
+
+// CommandCount returns how many commands of the given kind were issued.
+func (c *Controller) CommandCount(kind dram.Kind) int64 { return c.cmdCount[kind] }
+
+// VClock returns the controller's virtual clock (real cycles excluding
+// refresh periods).
+func (c *Controller) VClock() int64 { return c.vclock }
+
+// PendingRequests returns the number of requests awaiting service.
+func (c *Controller) PendingRequests() int { return c.pendingTotal }
+
+// Accept offers a request to the controller at cycle now. It returns
+// false (NACK) when the thread's transaction or write buffer partition
+// is full (or, with SharedBuffers, when the pooled buffer is full),
+// applying back-pressure to that thread.
+func (c *Controller) Accept(thread int, lineAddr uint64, isWrite bool, now int64) bool {
+	st := &c.stats[thread]
+	if isWrite {
+		full := c.writeOcc[thread] >= c.cfg.WriteEntriesPerThread
+		if c.cfg.SharedBuffers {
+			full = c.writeOccTotal >= c.cfg.WriteEntriesPerThread*c.cfg.Threads
+		}
+		if full {
+			st.WriteNACKs++
+			return false
+		}
+		c.writeOcc[thread]++
+		c.writeOccTotal++
+		st.WritesAccepted++
+	} else {
+		full := c.readOcc[thread] >= c.cfg.ReadEntriesPerThread
+		if c.cfg.SharedBuffers {
+			full = c.readOccTotal >= c.cfg.ReadEntriesPerThread*c.cfg.Threads
+		}
+		if full {
+			st.ReadNACKs++
+			return false
+		}
+		c.readOcc[thread]++
+		c.readOccTotal++
+		st.ReadsAccepted++
+	}
+	coord := c.mapper.Decode(lineAddr)
+	gb := (coord.Channel*c.cfg.DRAM.Ranks+coord.Rank)*c.cfg.DRAM.BanksPerRank + coord.Bank
+	c.nextID++
+	req := &core.Request{
+		ID:          c.nextID,
+		Thread:      thread,
+		Addr:        lineAddr,
+		IsWrite:     isWrite,
+		Arrival:     c.vclock,
+		ArrivalReal: now,
+		Rank:        coord.Rank,
+		Bank:        coord.Bank,
+		Row:         coord.Row,
+		Col:         coord.Col,
+		Channel:     coord.Channel,
+		GlobalBank:  gb,
+	}
+	c.pending[gb] = append(c.pending[gb], req)
+	c.pendingTotal++
+	return true
+}
+
+// chanOf returns the dram channel owning a flat bank.
+func (c *Controller) chanOf(flatBank int) (*dram.Channel, int) {
+	return c.chans[flatBank/c.banksPerChan], flatBank % c.banksPerChan
+}
+
+// bankStateFor returns the Table 3 bank state a request would see if it
+// began service now.
+func (c *Controller) bankStateFor(r *core.Request) core.BankState {
+	ch, lb := c.chanOf(r.GlobalBank)
+	row, open := ch.BankOpen(lb)
+	switch {
+	case !open:
+		return core.BankClosed
+	case row == r.Row:
+		return core.BankHit
+	default:
+		return core.BankConflict
+	}
+}
+
+// nextCmdFor returns the next SDRAM command required to service r.
+func nextCmdFor(r *core.Request, state core.BankState) dram.Kind {
+	switch state {
+	case core.BankConflict:
+		return dram.KindPrecharge
+	case core.BankClosed:
+		return dram.KindActivate
+	default:
+		if r.IsWrite {
+			return dram.KindWrite
+		}
+		return dram.KindRead
+	}
+}
+
+// better reports whether candidate a beats candidate b under the shared
+// priority levels: CAS over RAS, then the policy key, then arrival, then
+// ID. (Both candidates are already known to be ready.)
+func better(a, b *candidate) bool {
+	if a.isCAS != b.isCAS {
+		return a.isCAS
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.arr != b.arr {
+		return a.arr < b.arr
+	}
+	return a.id < b.id
+}
+
+// Tick advances the controller one cycle: completes finished reads,
+// manages refresh, and issues at most one SDRAM command per channel,
+// chosen by the bank and channel schedulers.
+func (c *Controller) Tick(now int64) {
+	// 1. Deliver reads whose data burst has completed.
+	for chIdx := range c.chans {
+		q := c.inflight[chIdx]
+		head := c.inflightHead[chIdx]
+		for head < len(q) && q[head].doneAt <= now {
+			f := q[head]
+			q[head].req = nil
+			head++
+			st := &c.stats[f.req.Thread]
+			st.ReadsDone++
+			st.ReadLatencySum += f.doneAt - f.req.ArrivalReal
+			st.LatHist.Add(float64(f.doneAt - f.req.ArrivalReal))
+			c.readOcc[f.req.Thread]--
+			c.readOccTotal--
+			if c.OnReadDone != nil {
+				c.OnReadDone(f.req, now)
+			}
+		}
+		if head > 64 && head*2 > len(q) {
+			q = append(q[:0], q[head:]...)
+			head = 0
+		}
+		c.inflight[chIdx] = q
+		c.inflightHead[chIdx] = head
+	}
+
+	// 2. The virtual clock pauses during channel 0's refresh period
+	// (the paper's single-channel rule; channels refresh on the same
+	// schedule so the approximation is exact for Channels = 1).
+	if !c.chans[0].InRefresh(now) {
+		c.vclock++
+	}
+
+	// 3. Per channel: refresh management and command scheduling.
+	for chIdx, ch := range c.chans {
+		if now >= c.nextRefreshAt[chIdx] {
+			c.refreshWanted[chIdx] = true
+		}
+		inRefresh := ch.InRefresh(now)
+		if c.refreshWanted[chIdx] && !inRefresh && ch.AllBanksClosed() && ch.Ready(dram.KindRefresh, 0, now) {
+			ch.Issue(dram.KindRefresh, 0, 0, now)
+			c.cmdCount[dram.KindRefresh]++
+			c.refreshWanted[chIdx] = false
+			c.nextRefreshAt[chIdx] += int64(c.cfg.DRAM.Timing.TREF)
+			continue
+		}
+		if inRefresh {
+			continue
+		}
+
+		// Bank schedulers: each bank offers at most one ready command.
+		c.cands = c.cands[:0]
+		lo := chIdx * c.banksPerChan
+		for b := lo; b < lo+c.banksPerChan; b++ {
+			if cand, ok := c.bankSchedule(chIdx, b, now); ok {
+				c.cands = append(c.cands, cand)
+			}
+		}
+		if len(c.cands) == 0 {
+			continue
+		}
+
+		// Channel scheduler: issue the best ready command.
+		best := &c.cands[0]
+		for i := 1; i < len(c.cands); i++ {
+			if better(&c.cands[i], best) {
+				best = &c.cands[i]
+			}
+		}
+		c.issue(best, now)
+	}
+}
+
+// bankSchedule runs one bank's scheduler and returns its ready command
+// offer, if any.
+func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool) {
+	ch := c.chans[chIdx]
+	lb := b % c.banksPerChan
+	reqs := c.pending[b]
+	if len(reqs) == 0 {
+		// Closed-row policy: close an idle open row. While a refresh is
+		// pending this also drains the bank.
+		if _, open := ch.BankOpen(lb); open && (c.cfg.RowPolicy == ClosedRow || c.refreshWanted[chIdx]) {
+			if ch.Ready(dram.KindPrecharge, lb, now) {
+				return candidate{
+					req:  nil,
+					kind: dram.KindPrecharge,
+					bank: b,
+					key:  int64(1) << 62, // lowest priority
+					arr:  int64(1) << 62,
+					id:   ^uint64(0),
+				}, true
+			}
+		}
+		return candidate{}, false
+	}
+
+	rule, x := c.policy.BankRule()
+	strict := rule == core.RuleStrict
+	if rule == core.RuleFQ {
+		// Strict earliest-key selection once the bank has been active
+		// for x cycles; first-ready while closed or freshly activated.
+		if _, open := ch.BankOpen(lb); open && now-ch.LastActivate(lb) >= x {
+			strict = true
+		}
+	}
+
+	var (
+		bestReq   *core.Request
+		bestKind  dram.Kind
+		bestKey   int64
+		bestReady bool
+		bestCAS   bool
+	)
+	for _, r := range reqs {
+		state := c.bankStateFor(r)
+		kind := nextCmdFor(r, state)
+		key := c.policy.Key(r, state)
+		if strict {
+			// Select purely by key order; readiness is not a priority
+			// level. (The bank waits for the selected request.)
+			if bestReq == nil || key < bestKey ||
+				(key == bestKey && (r.Arrival < bestReq.Arrival ||
+					(r.Arrival == bestReq.Arrival && r.ID < bestReq.ID))) {
+				bestReq, bestKind, bestKey = r, kind, key
+			}
+			continue
+		}
+		ready := ch.Ready(kind, lb, now)
+		isCAS := kind == dram.KindRead || kind == dram.KindWrite
+		if bestReq == nil {
+			bestReq, bestKind, bestKey, bestReady, bestCAS = r, kind, key, ready, isCAS
+			continue
+		}
+		// (ready, CAS, key, arrival, id) ordering.
+		switch {
+		case ready != bestReady:
+			if !ready {
+				continue
+			}
+		case isCAS != bestCAS:
+			if !isCAS {
+				continue
+			}
+		case key != bestKey:
+			if key > bestKey {
+				continue
+			}
+		case r.Arrival != bestReq.Arrival:
+			if r.Arrival > bestReq.Arrival {
+				continue
+			}
+		default:
+			if r.ID > bestReq.ID {
+				continue
+			}
+		}
+		bestReq, bestKind, bestKey, bestReady, bestCAS = r, kind, key, ready, isCAS
+	}
+	if strict {
+		bestReady = ch.Ready(bestKind, lb, now)
+		bestCAS = bestKind == dram.KindRead || bestKind == dram.KindWrite
+	}
+	// A refresh is pending: finish closing the bank but start nothing
+	// new (no activates).
+	if c.refreshWanted[chIdx] && bestKind == dram.KindActivate {
+		return candidate{}, false
+	}
+	if !bestReady {
+		return candidate{}, false
+	}
+	return candidate{
+		req:   bestReq,
+		kind:  bestKind,
+		bank:  b,
+		row:   bestReq.Row,
+		key:   bestKey,
+		arr:   bestReq.Arrival,
+		id:    bestReq.ID,
+		isCAS: bestCAS,
+	}, true
+}
+
+// issue applies the winning candidate to the DRAM and updates request
+// and policy state.
+func (c *Controller) issue(cand *candidate, now int64) {
+	c.cmdCount[cand.kind]++
+	ch, lb := c.chanOf(cand.bank)
+	if cand.req == nil {
+		// Idle-close precharge: device state only; no request, and no
+		// VTMS charge (no thread is waiting on it).
+		ch.Issue(dram.KindPrecharge, lb, 0, now)
+		return
+	}
+	r := cand.req
+	if r.Issued == 0 {
+		// Record the bank state the request began service in.
+		st := &c.stats[r.Thread]
+		switch c.bankStateFor(r) {
+		case core.BankHit:
+			st.RowHits++
+		case core.BankConflict:
+			st.RowConflicts++
+		default:
+			st.RowClosed++
+		}
+	}
+	dataEnd := ch.Issue(cand.kind, lb, r.Row, now)
+	c.policy.OnIssue(r, core.CmdKind(cand.kind))
+	r.Issued++
+	if cand.kind == dram.KindRead || cand.kind == dram.KindWrite {
+		c.removePending(cand.bank, r)
+		st := &c.stats[r.Thread]
+		st.DataBusCycles += int64(c.cfg.DRAM.Timing.BL2)
+		if cand.kind == dram.KindRead {
+			c.inflight[r.Channel] = append(c.inflight[r.Channel], inflightRead{req: r, doneAt: dataEnd})
+		} else {
+			st.WritesDone++
+			c.writeOcc[r.Thread]--
+			c.writeOccTotal--
+		}
+	}
+}
+
+// removePending deletes a request from its bank queue, preserving order.
+func (c *Controller) removePending(bank int, r *core.Request) {
+	q := c.pending[bank]
+	for i, x := range q {
+		if x == r {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			c.pending[bank] = q[:len(q)-1]
+			c.pendingTotal--
+			return
+		}
+	}
+	panic(fmt.Sprintf("memctrl: request %d not found in bank %d queue", r.ID, bank))
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/trace"
+)
+
+func profile(t *testing.T, name string) trace.Profile {
+	t.Helper()
+	p, err := trace.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Workload: []trace.Profile{profile(t, "vpr"), profile(t, "art")}}
+	got, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Shares) != 2 || got.Shares[0] != core.EqualShare(2) {
+		t.Errorf("shares = %v", got.Shares)
+	}
+	if got.Mem.Threads != 2 || got.Mem.ReadEntriesPerThread != 16 || got.Mem.WriteEntriesPerThread != 8 {
+		t.Errorf("mem config = %+v", got.Mem)
+	}
+	if got.CPU.ROB != 128 {
+		t.Errorf("cpu config = %+v", got.CPU)
+	}
+	if got.Cache.L2.SizeKB != 512 {
+		t.Errorf("cache config = %+v", got.Cache)
+	}
+	if got.ReqTransit == 0 || got.RespTransit == 0 {
+		t.Error("transits not defaulted")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted empty workload")
+	}
+	if _, err := New(Config{
+		Workload: []trace.Profile{profile(t, "vpr")},
+		Shares:   []core.Share{{Num: 1, Den: 2}, {Num: 1, Den: 2}},
+	}); err == nil {
+		t.Error("accepted share/core mismatch")
+	}
+	if _, err := New(Config{
+		Workload: []trace.Profile{profile(t, "vpr")},
+		Shares:   []core.Share{{Num: 0, Den: 1}},
+	}); err == nil {
+		t.Error("accepted invalid share")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"FCFS", "FR-FCFS", "FR-VFTF", "FQ-VFTF", "FR-VSTF", "frfcfs", "fqvftf"} {
+		if _, err := PolicyByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := PolicyByName("nonesuch"); err == nil {
+		t.Error("accepted unknown policy")
+	}
+}
+
+func TestRunProducesConsistentResults(t *testing.T) {
+	res, err := Run(Config{Workload: []trace.Profile{profile(t, "ammp")}}, 10_000, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 60_000 {
+		t.Errorf("window = %d", res.Cycles)
+	}
+	tr := res.Threads[0]
+	if tr.Benchmark != "ammp" || tr.Instructions <= 0 || tr.IPC <= 0 {
+		t.Errorf("thread result = %+v", tr)
+	}
+	if tr.BusUtil <= 0 || tr.BusUtil > 1 {
+		t.Errorf("bus util = %v", tr.BusUtil)
+	}
+	if res.DataBusUtil < tr.BusUtil-1e-9 {
+		t.Errorf("aggregate util %v below thread util %v", res.DataBusUtil, tr.BusUtil)
+	}
+	if tr.AvgReadLatency <= 0 {
+		t.Errorf("latency = %v", tr.AvgReadLatency)
+	}
+	if res.PolicyName != "FR-FCFS" {
+		t.Errorf("default policy = %q", res.PolicyName)
+	}
+	if res.BankUtil <= 0 || res.BankUtil > 1 {
+		t.Errorf("bank util = %v", res.BankUtil)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	cfg := Config{
+		Workload: []trace.Profile{profile(t, "vpr"), profile(t, "art")},
+		Policy:   FQVFTF,
+	}
+	r1, err := Run(cfg, 5_000, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg, 5_000, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Threads {
+		if r1.Threads[i] != r2.Threads[i] {
+			t.Fatalf("thread %d differs: %+v vs %+v", i, r1.Threads[i], r2.Threads[i])
+		}
+	}
+	if r1.DataBusUtil != r2.DataBusUtil {
+		t.Fatal("aggregate util differs")
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := Config{Workload: []trace.Profile{profile(t, "ammp")}}
+	r1, _ := Run(cfg, 5_000, 40_000)
+	cfg.Seed = 99
+	r2, _ := Run(cfg, 5_000, 40_000)
+	if r1.Threads[0].Instructions == r2.Threads[0].Instructions {
+		t.Error("different seeds gave identical instruction counts (suspicious)")
+	}
+}
+
+// TestSharesSteerBandwidth: giving one thread 3/4 of the memory system
+// must give it more bandwidth than its 1/4 partner when both are
+// bandwidth hungry.
+func TestSharesSteerBandwidth(t *testing.T) {
+	art := profile(t, "art")
+	res, err := Run(Config{
+		Workload: []trace.Profile{art, art},
+		Shares:   []core.Share{{Num: 3, Den: 4}, {Num: 1, Den: 4}},
+		Policy:   FQVFTF,
+	}, 20_000, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, small := res.Threads[0].BusUtil, res.Threads[1].BusUtil
+	if big <= small*1.5 {
+		t.Fatalf("3/4-share thread got %.3f vs 1/4-share %.3f; shares not honored", big, small)
+	}
+}
+
+// TestQoSShape is the paper's headline mechanism at test scale: under
+// FR-FCFS an art background crushes vpr; under FQ-VFTF vpr stays near
+// its 1/2-share baseline.
+func TestQoSShape(t *testing.T) {
+	vpr, art := profile(t, "vpr"), profile(t, "art")
+	base := Config{Workload: []trace.Profile{vpr}}
+	base.Mem.DRAM = dram.DefaultConfig()
+	base.Mem.DRAM.Timing = dram.DDR2800().Scale(2)
+	bres, err := Run(base, 20_000, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bIPC := bres.Threads[0].IPC
+
+	frfcfs, err := Run(Config{Workload: []trace.Profile{vpr, art}, Policy: FRFCFS}, 20_000, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq, err := Run(Config{Workload: []trace.Profile{vpr, art}, Policy: FQVFTF}, 20_000, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normFR := frfcfs.Threads[0].IPC / bIPC
+	normFQ := fq.Threads[0].IPC / bIPC
+	if normFR > 0.7 {
+		t.Errorf("FR-FCFS vpr normalized IPC %.2f; expected severe interference (< 0.7)", normFR)
+	}
+	if normFQ < 0.85 {
+		t.Errorf("FQ-VFTF vpr normalized IPC %.2f; expected QoS (>= 0.85)", normFQ)
+	}
+	if normFQ < normFR {
+		t.Error("FQ-VFTF did not improve on FR-FCFS")
+	}
+	// Latency ordering mirrors IPC.
+	if fq.Threads[0].AvgReadLatency >= frfcfs.Threads[0].AvgReadLatency {
+		t.Error("FQ-VFTF did not reduce the victim's read latency")
+	}
+}
+
+func TestRefreshRunsInLongSimulations(t *testing.T) {
+	cfg := Config{Workload: []trace.Profile{profile(t, "ammp")}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(600_000) // beyond tREF = 280,000
+	if s.Controller().CommandCount(5 /* refresh */) < 2 {
+		t.Errorf("refreshes = %d, want >= 2", s.Controller().CommandCount(5))
+	}
+}
+
+func TestBeginMeasurementExcludesWarmup(t *testing.T) {
+	cfg := Config{Workload: []trace.Profile{profile(t, "crafty")}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(10_000)
+	s.BeginMeasurement()
+	s.Step(30_000)
+	res := s.Results()
+	if res.Cycles != 30_000 {
+		t.Errorf("window = %d, want 30000", res.Cycles)
+	}
+	retiredAll := s.Core(0).Retired
+	if res.Threads[0].Instructions >= retiredAll {
+		t.Error("measurement window included warmup instructions")
+	}
+}
+
+func TestResultsWithoutBeginMeasurement(t *testing.T) {
+	cfg := Config{Workload: []trace.Profile{profile(t, "crafty")}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(20_000)
+	res := s.Results()
+	if res.Cycles != 20_000 {
+		t.Errorf("cycles = %d, want full 20000", res.Cycles)
+	}
+	if res.Threads[0].Instructions != s.Core(0).Retired {
+		t.Error("zero-snapshot results should cover everything")
+	}
+}
+
+// TestMultiChannelThroughput: a second memory channel must raise a
+// bandwidth-bound thread's throughput while keeping utilization a
+// fraction of the doubled peak.
+func TestMultiChannelThroughput(t *testing.T) {
+	art := profile(t, "art")
+	one, err := Run(Config{Workload: []trace.Profile{art, art}}, 10_000, 80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workload: []trace.Profile{art, art}}
+	cfg.Mem.Channels = 2
+	two, err := Run(cfg, 10_000, 80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc1 := one.Threads[0].IPC + one.Threads[1].IPC
+	ipc2 := two.Threads[0].IPC + two.Threads[1].IPC
+	if ipc2 < ipc1*1.2 {
+		t.Errorf("2-channel aggregate IPC %.2f not well above 1-channel %.2f", ipc2, ipc1)
+	}
+	if two.DataBusUtil > 1 || two.DataBusUtil <= 0 {
+		t.Errorf("2-channel utilization %v out of range", two.DataBusUtil)
+	}
+}
+
+// TestDynamicShareReassignment: moving a thread's share mid-run must
+// move its measured bandwidth.
+func TestDynamicShareReassignment(t *testing.T) {
+	art := profile(t, "art")
+	s, err := New(Config{
+		Workload: []trace.Profile{art, art},
+		Shares:   []core.Share{{Num: 1, Den: 2}, {Num: 1, Den: 2}},
+		Policy:   FQVFTF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(20_000)
+	s.BeginMeasurement()
+	s.Step(80_000)
+	before := s.Results()
+
+	if !s.SetShare(0, core.Share{Num: 7, Den: 8}) || !s.SetShare(1, core.Share{Num: 1, Den: 8}) {
+		t.Fatal("FQ-VFTF should support share reassignment")
+	}
+	s.Step(20_000) // settle
+	s.BeginMeasurement()
+	s.Step(80_000)
+	after := s.Results()
+
+	ratioBefore := before.Threads[0].BusUtil / before.Threads[1].BusUtil
+	ratioAfter := after.Threads[0].BusUtil / after.Threads[1].BusUtil
+	if ratioBefore > 1.3 || ratioBefore < 0.7 {
+		t.Errorf("equal shares gave ratio %.2f", ratioBefore)
+	}
+	if ratioAfter < 2 {
+		t.Errorf("7/8 vs 1/8 shares gave ratio %.2f, want >= 2", ratioAfter)
+	}
+	// FR-FCFS has no shares to set.
+	s2, _ := New(Config{Workload: []trace.Profile{art}})
+	if s2.SetShare(0, core.Share{Num: 1, Den: 2}) {
+		t.Error("FR-FCFS accepted a share reassignment")
+	}
+}
+
+// TestReplaySources: a simulation driven by recorded traces must match
+// one driven by live generators with the same seed.
+func TestReplaySources(t *testing.T) {
+	p := profile(t, "ammp")
+	live, err := Run(Config{Workload: []trace.Profile{p}, Seed: 3}, 5_000, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := trace.NewGenerator(p, 0, 3+1) // sim.New adds 1 to the seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, g, 400_000); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := Run(Config{Sources: []trace.Source{r}}, 5_000, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Threads[0].Benchmark != "ammp" {
+		t.Errorf("replay benchmark = %q", replay.Threads[0].Benchmark)
+	}
+	if live.Threads[0].Instructions != replay.Threads[0].Instructions {
+		t.Errorf("live retired %d, replay retired %d",
+			live.Threads[0].Instructions, replay.Threads[0].Instructions)
+	}
+	if live.Threads[0].ReadsDone != replay.Threads[0].ReadsDone {
+		t.Errorf("live reads %d, replay reads %d",
+			live.Threads[0].ReadsDone, replay.Threads[0].ReadsDone)
+	}
+}
+
+// TestSourcesLengthMismatch rejects inconsistent replay configuration.
+func TestSourcesLengthMismatch(t *testing.T) {
+	p := profile(t, "ammp")
+	g, _ := trace.NewGenerator(p, 0, 1)
+	_, err := New(Config{
+		Workload: []trace.Profile{p, p},
+		Sources:  []trace.Source{g},
+	})
+	if err == nil {
+		t.Fatal("accepted 1 source for 2 cores")
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := ByName("ammp")
+	g, err := NewGenerator(p, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const n = 50_000
+	if err := WriteTrace(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "ammp" || r.Len() != n {
+		t.Fatalf("name=%q len=%d", r.Name(), r.Len())
+	}
+
+	// Replay must equal a fresh generation with the same seed.
+	g2, _ := NewGenerator(p, 0, 5)
+	var a, b Instr
+	for i := 0; i < n; i++ {
+		g2.Next(&a)
+		r.Next(&b)
+		if a.Dep > 255 {
+			a.Dep = 0 // the format saturates deep deps
+		}
+		if a != b {
+			t.Fatalf("instruction %d: recorded %+v, replayed %+v", i, a, b)
+		}
+	}
+	// The reader loops past the end.
+	r.Next(&b)
+	g3, _ := NewGenerator(p, 0, 5)
+	g3.Next(&a)
+	if a.Kind != b.Kind {
+		t.Fatal("reader did not wrap to the start")
+	}
+}
+
+func TestTraceReaderCodeLine(t *testing.T) {
+	p, _ := ByName("crafty") // CodeKB 32
+	g, _ := NewGenerator(p, 0, 1)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, 1000); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.CodeLine(); !ok {
+		t.Fatal("code footprint lost in round trip")
+	}
+	// art has no code stream.
+	p2, _ := ByName("art")
+	g2, _ := NewGenerator(p2, 0, 1)
+	buf.Reset()
+	WriteTrace(&buf, g2, 100)
+	r2, _ := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if _, ok := r2.CodeLine(); ok {
+		t.Fatal("phantom code stream after round trip")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________"),
+		append(fileMagic[:], 0xFF), // truncated after magic
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted garbage", i)
+		}
+	}
+	// Valid header but bad instruction kind.
+	var buf bytes.Buffer
+	buf.Write(fileMagic[:])
+	buf.Write([]byte{1, 0})                   // name length 1
+	buf.WriteString("x")                      // name
+	buf.Write([]byte{0, 0, 0, 0})             // codeKB
+	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0}) // count = 1
+	buf.Write([]byte{99, 0, 1})               // kind 99: invalid
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("accepted invalid instruction kind")
+	}
+	// Empty trace.
+	buf.Reset()
+	buf.Write(fileMagic[:])
+	buf.Write([]byte{1, 0})
+	buf.WriteString("x")
+	buf.Write([]byte{0, 0, 0, 0})
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("accepted empty trace")
+	}
+}

@@ -1,0 +1,193 @@
+package trace
+
+import "fmt"
+
+// Suite returns the twenty synthetic benchmark profiles standing in for
+// the paper's SPEC 2000 traces, ordered by decreasing solo data-bus
+// utilization exactly as the paper orders its Figure 4 (most aggressive
+// first). The ordering fixes the paper's workload construction: the
+// four-processor workloads combine every fourth benchmark of the top
+// sixteen, and the last four (very low utilization) are excluded.
+func Suite() []Profile {
+	return []Profile{
+		{
+			// Streaming image recognition; the paper's most aggressive
+			// benchmark and the Figure 5/6 background thread.
+			Name: "art", MemFrac: 0.3342, StoreFrac: 0.50,
+			SeqFrac: 0.92, ChaseFrac: 0, Streams: 1, BurstLen: 128,
+			WorkingSetKB: 4096, FpFrac: 0.6, DepFrac: 0.15,
+			SoloUtilTarget: 0.9,
+		},
+		{
+			// Shallow-water stencil: streaming reads and writes.
+			Name: "swim", MemFrac: 0.1124, StoreFrac: 0.40,
+			SeqFrac: 0.93, ChaseFrac: 0, Streams: 6, BurstLen: 24,
+			WorkingSetKB: 4096, FpFrac: 0.7, DepFrac: 0.2,
+			SoloUtilTarget: 0.75,
+		},
+		{
+			// Sparse graph optimization: huge working set, mostly random
+			// reads with good memory-level parallelism.
+			Name: "mcf", MemFrac: 0.2249, StoreFrac: 0.12,
+			SeqFrac: 0.10, ChaseFrac: 0.12, Streams: 2, BurstLen: 8,
+			WorkingSetKB: 16384, FpFrac: 0.0, DepFrac: 0.25,
+			SoloUtilTarget: 0.68,
+		},
+		{
+			// Earthquake FEM: streaming with irregular gather.
+			Name: "equake", MemFrac: 0.1014, StoreFrac: 0.25,
+			SeqFrac: 0.70, ChaseFrac: 0.03, Streams: 5, BurstLen: 16,
+			WorkingSetKB: 8192, FpFrac: 0.6, DepFrac: 0.2,
+			SoloUtilTarget: 0.62,
+		},
+		{
+			// FFT over large arrays: streaming, write-heavy phases.
+			Name: "lucas", MemFrac: 0.0568, StoreFrac: 0.35,
+			SeqFrac: 0.90, ChaseFrac: 0, Streams: 4, BurstLen: 16,
+			WorkingSetKB: 8192, FpFrac: 0.8, DepFrac: 0.25,
+			SoloUtilTarget: 0.57,
+		},
+		{
+			// CFD solver: blocked streaming.
+			Name: "applu", MemFrac: 0.05411, StoreFrac: 0.30,
+			SeqFrac: 0.85, ChaseFrac: 0, Streams: 5, BurstLen: 16,
+			WorkingSetKB: 8192, FpFrac: 0.8, DepFrac: 0.25,
+			SoloUtilTarget: 0.53,
+		},
+		{
+			// Galerkin FEM: dense linear algebra with large panels.
+			Name: "galgel", MemFrac: 0.04963, StoreFrac: 0.25,
+			SeqFrac: 0.75, ChaseFrac: 0, Streams: 4, BurstLen: 12,
+			WorkingSetKB: 4096, FpFrac: 0.8, DepFrac: 0.3,
+			SoloUtilTarget: 0.48,
+		},
+		{
+			// Face recognition: streaming correlation over images.
+			Name: "facerec", MemFrac: 0.04322, StoreFrac: 0.20,
+			SeqFrac: 0.78, ChaseFrac: 0, Streams: 4, BurstLen: 12,
+			WorkingSetKB: 4096, FpFrac: 0.7, DepFrac: 0.3,
+			SoloUtilTarget: 0.44,
+		},
+		{
+			// Pollutant-distribution code: mixed streaming/random.
+			Name: "apsi", MemFrac: 0.03958, StoreFrac: 0.30,
+			SeqFrac: 0.65, ChaseFrac: 0, Streams: 4, BurstLen: 8,
+			WorkingSetKB: 2048, FpFrac: 0.7, DepFrac: 0.3,
+			SoloUtilTarget: 0.4,
+		},
+		{
+			// Quantum chromodynamics: strided streaming.
+			Name: "wupwise", MemFrac: 0.03018, StoreFrac: 0.25,
+			SeqFrac: 0.70, ChaseFrac: 0, Streams: 3, BurstLen: 8,
+			WorkingSetKB: 4096, FpFrac: 0.8, DepFrac: 0.3,
+			SoloUtilTarget: 0.36,
+		},
+		{
+			// Multigrid solver: streaming with reuse between levels.
+			Name: "mgrid", MemFrac: 0.0292, StoreFrac: 0.30,
+			SeqFrac: 0.80, ChaseFrac: 0, Streams: 3, BurstLen: 12,
+			WorkingSetKB: 2048, FpFrac: 0.8, DepFrac: 0.3,
+			SoloUtilTarget: 0.32,
+		},
+		{
+			// 3D graphics: moderate streaming, good cache behavior.
+			Name: "mesa", MemFrac: 0.02733, StoreFrac: 0.25,
+			SeqFrac: 0.55, ChaseFrac: 0, Streams: 3, BurstLen: 8,
+			WorkingSetKB: 1536, FpFrac: 0.5, DepFrac: 0.3,
+			SoloUtilTarget: 0.29,
+		},
+		{
+			// Molecular dynamics: neighbor lists, mixed random/chase.
+			Name: "ammp", MemFrac: 0.02832, StoreFrac: 0.20,
+			SeqFrac: 0.35, ChaseFrac: 0.15, Streams: 2, BurstLen: 6,
+			WorkingSetKB: 2048, FpFrac: 0.6, DepFrac: 0.3,
+			SoloUtilTarget: 0.26,
+		},
+		{
+			// Compression: small working set, bursty.
+			Name: "gzip", MemFrac: 0.03584, StoreFrac: 0.30,
+			SeqFrac: 0.55, ChaseFrac: 0, Streams: 2, BurstLen: 8,
+			WorkingSetKB: 768, FpFrac: 0.0, DepFrac: 0.35,
+			SoloUtilTarget: 0.22,
+		},
+		{
+			// Dictionary parsing: pointer-heavy, moderate footprint.
+			Name: "parser", MemFrac: 0.02838, StoreFrac: 0.20,
+			SeqFrac: 0.25, ChaseFrac: 0.25, Streams: 2, BurstLen: 4,
+			WorkingSetKB: 1024, FpFrac: 0.0, DepFrac: 0.35,
+			SoloUtilTarget: 0.18,
+		},
+		{
+			// Place-and-route: dependent pointer chasing with little
+			// memory parallelism; the paper's latency-sensitive subject
+			// (Figure 1) and the one benchmark FQ misses QoS on.
+			Name: "vpr", MemFrac: 0.036, StoreFrac: 0.12,
+			SeqFrac: 0.05, ChaseFrac: 0.65, Streams: 1, BurstLen: 1,
+			WorkingSetKB: 1024, FpFrac: 0.1, DepFrac: 0.4,
+			SoloUtilTarget: 0.14,
+		},
+		{
+			// Standard-cell place-and-route: like vpr, lighter.
+			Name: "twolf", MemFrac: 0.017, StoreFrac: 0.12,
+			SeqFrac: 0.05, ChaseFrac: 0.55, Streams: 1, BurstLen: 1,
+			WorkingSetKB: 768, FpFrac: 0.1, DepFrac: 0.4,
+			SoloUtilTarget: 0.09,
+		},
+		{
+			// Particle accelerator simulation: tiny working set.
+			Name: "sixtrack", MemFrac: 0.07912, StoreFrac: 0.25,
+			SeqFrac: 0.30, ChaseFrac: 0, Streams: 2, BurstLen: 8,
+			WorkingSetKB: 512, FpFrac: 0.7, DepFrac: 0.35,
+			SoloUtilTarget: 0.025,
+		},
+		{
+			// Perl interpreter: cache-resident, code-heavy.
+			Name: "perlbmk", MemFrac: 0.1101, StoreFrac: 0.30,
+			SeqFrac: 0.10, ChaseFrac: 0.15, Streams: 1, BurstLen: 4,
+			WorkingSetKB: 160, FpFrac: 0.0, DepFrac: 0.4,
+			CodeKB:         48,
+			SoloUtilTarget: 0.005,
+		},
+		{
+			// Chess: compute bound, fits in L2.
+			Name: "crafty", MemFrac: 0.09524, StoreFrac: 0.20,
+			SeqFrac: 0.05, ChaseFrac: 0.10, Streams: 1, BurstLen: 2,
+			WorkingSetKB: 128, FpFrac: 0.0, DepFrac: 0.45,
+			CodeKB:         32,
+			SoloUtilTarget: 0.002,
+		},
+	}
+}
+
+// ByName returns the suite profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}
+
+// Names returns the suite benchmark names in Figure 4 order.
+func Names() []string {
+	s := Suite()
+	out := make([]string, len(s))
+	for i, p := range s {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// FourCoreWorkloads returns the paper's four-processor workloads: every
+// fourth benchmark of the sixteen most aggressive (the last four are
+// excluded for very low memory utilization). Workload i combines
+// benchmarks i, i+4, i+8, i+12 (1-based), ordered most demanding first.
+func FourCoreWorkloads() [][]string {
+	names := Names()
+	wls := make([][]string, 4)
+	for i := 0; i < 4; i++ {
+		wls[i] = []string{names[i], names[i+4], names[i+8], names[i+12]}
+	}
+	return wls
+}
