@@ -300,6 +300,48 @@ func BenchmarkSchedulers(b *testing.B) {
 	}
 }
 
+// BenchmarkSimThroughput is the perf-trajectory benchmark: raw simulator
+// throughput (simulated cycles/sec and completed memory requests/sec) on
+// 4-core FQ-VFTF configurations spanning the workload intensity range.
+// cmd/benchjson runs the same configurations and emits JSON so future
+// PRs can compare against a recorded trajectory.
+func BenchmarkSimThroughput(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		benches []string
+	}{
+		{"light-4xcrafty", []string{"crafty", "crafty", "crafty", "crafty"}},
+		{"mixed", trace.FourCoreWorkloads()[0]},
+		{"heavy-4xart", []string{"art", "art", "art", "art"}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			profiles := make([]trace.Profile, len(v.benches))
+			for i, n := range v.benches {
+				profiles[i], _ = trace.ByName(n)
+			}
+			s, err := sim.New(sim.Config{Workload: profiles, Policy: sim.FQVFTF})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step(10_000)
+			}
+			elapsed := b.Elapsed().Seconds()
+			if elapsed == 0 {
+				elapsed = 1e-9
+			}
+			var reqs int64
+			for t := 0; t < len(profiles); t++ {
+				st := s.Controller().Stats(t)
+				reqs += st.ReadsDone + st.WritesDone
+			}
+			b.ReportMetric(float64(s.Cycle())/elapsed/1e6, "Msimcycles/s")
+			b.ReportMetric(float64(reqs)/elapsed/1e3, "kreqs/s")
+		})
+	}
+}
+
 func itoa(x int64) string {
 	if x == 0 {
 		return "0"

@@ -1,0 +1,173 @@
+// Command benchjson measures raw simulator throughput on the same
+// configurations as BenchmarkSimThroughput (bench_test.go) and emits a
+// machine-readable JSON report, so successive revisions can be compared
+// against a recorded performance trajectory without parsing `go test
+// -bench` output.
+//
+// Usage:
+//
+//	benchjson [-warmup N] [-cycles N] [-strict] [-seed N]
+//
+// With -strict each configuration is additionally run with the
+// event-driven fast path disabled (the per-cycle oracle), and the
+// report includes the fast/strict speedup ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// run is one measured simulation.
+type run struct {
+	Name            string   `json:"name"`
+	Workload        []string `json:"workload"`
+	Policy          string   `json:"policy"`
+	Strict          bool     `json:"strict"`
+	SimulatedCycles int64    `json:"simulated_cycles"`
+	RequestsDone    int64    `json:"requests_done"`
+	WallSeconds     float64  `json:"wall_seconds"`
+	MSimCyclesPerS  float64  `json:"msimcycles_per_sec"`
+	KReqsPerS       float64  `json:"kreqs_per_sec"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Timestamp string  `json:"timestamp"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Warmup    int64   `json:"warmup_cycles"`
+	Cycles    int64   `json:"measured_cycles"`
+	Seed      uint64  `json:"seed"`
+	Runs      []run   `json:"runs"`
+	Speedups  []ratio `json:"speedups,omitempty"`
+}
+
+// ratio records the event-driven speedup over the strict oracle for one
+// configuration (present only with -strict).
+type ratio struct {
+	Name    string  `json:"name"`
+	Speedup float64 `json:"fast_over_strict"`
+}
+
+// configs mirrors BenchmarkSimThroughput: workload intensities spanning
+// memory-light to memory-bound.
+var configs = []struct {
+	name    string
+	benches []string
+}{
+	{"light-4xcrafty", []string{"crafty", "crafty", "crafty", "crafty"}},
+	{"mixed", nil}, // filled from trace.FourCoreWorkloads()[0] in main
+	{"heavy-4xart", []string{"art", "art", "art", "art"}},
+}
+
+func measure(benches []string, warmup, cycles int64, seed uint64, strict bool) (run, error) {
+	profiles := make([]trace.Profile, len(benches))
+	for i, n := range benches {
+		p, err := trace.ByName(n)
+		if err != nil {
+			return run{}, err
+		}
+		profiles[i] = p
+	}
+	s, err := sim.New(sim.Config{
+		Workload: profiles,
+		Policy:   sim.FQVFTF,
+		Seed:     seed,
+		Strict:   strict,
+	})
+	if err != nil {
+		return run{}, err
+	}
+	s.Step(warmup)
+	countReqs := func() int64 {
+		var n int64
+		for t := range profiles {
+			st := s.Controller().Stats(t)
+			n += st.ReadsDone + st.WritesDone
+		}
+		return n
+	}
+	base := countReqs()
+	start := time.Now()
+	s.Step(cycles)
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	reqs := countReqs() - base
+	return run{
+		Workload:        benches,
+		Policy:          "FQ-VFTF",
+		Strict:          strict,
+		SimulatedCycles: cycles,
+		RequestsDone:    reqs,
+		WallSeconds:     elapsed,
+		MSimCyclesPerS:  float64(cycles) / elapsed / 1e6,
+		KReqsPerS:       float64(reqs) / elapsed / 1e3,
+	}, nil
+}
+
+func main() {
+	var (
+		warmup = flag.Int64("warmup", 50_000, "unmeasured warmup cycles per configuration")
+		cycles = flag.Int64("cycles", 2_000_000, "measured simulated cycles per configuration")
+		seed   = flag.Uint64("seed", 0, "trace generator seed")
+		strict = flag.Bool("strict", false, "also measure the per-cycle oracle and report speedups")
+	)
+	flag.Parse()
+
+	rep := report{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Warmup:    *warmup,
+		Cycles:    *cycles,
+		Seed:      *seed,
+	}
+
+	for _, c := range configs {
+		benches := c.benches
+		if benches == nil {
+			benches = trace.FourCoreWorkloads()[0]
+		}
+		fast, err := measure(benches, *warmup, *cycles, *seed, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fast.Name = c.name
+		rep.Runs = append(rep.Runs, fast)
+		if *strict {
+			slow, err := measure(benches, *warmup, *cycles, *seed, true)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			slow.Name = c.name + "-strict"
+			rep.Runs = append(rep.Runs, slow)
+			rep.Speedups = append(rep.Speedups, ratio{
+				Name:    c.name,
+				Speedup: fast.MSimCyclesPerS / slow.MSimCyclesPerS,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,5 +1,7 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation and prints a paper-versus-measured headline summary.
+// evaluation and prints a paper-versus-measured headline summary. After
+// each figure it reports the wall-clock time and the simulator
+// throughput (simulated cycles per second) that produced it.
 //
 // Usage:
 //
@@ -10,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -32,66 +35,110 @@ func main() {
 		os.Exit(1)
 	}
 
+	// timed runs one figure's driver and appends a wall-clock /
+	// simulated-throughput line. Memoized runs shared between figures are
+	// only counted (and only cost time) once, under whichever figure
+	// simulated them first.
+	timed := func(name string, fn func() error) {
+		start := time.Now()
+		before := r.SimulatedCycles()
+		if err := fn(); err != nil {
+			fail(err)
+		}
+		elapsed := time.Since(start)
+		cycles := r.SimulatedCycles() - before
+		secs := elapsed.Seconds()
+		if secs <= 0 {
+			secs = 1e-9
+		}
+		fmt.Fprintf(w, "[%s] wall %.2fs, %d simulated cycles, %.2f Msimcycles/s\n\n",
+			name, elapsed.Seconds(), cycles, float64(cycles)/secs/1e6)
+	}
+
 	switch *fig {
 	case "1":
-		res, err := r.Figure1()
-		if err != nil {
-			fail(err)
-		}
-		res.Render(w)
+		timed("figure 1", func() error {
+			res, err := r.Figure1()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		})
 	case "4":
-		res, err := r.Figure4()
-		if err != nil {
-			fail(err)
-		}
-		res.Render(w)
+		timed("figure 4", func() error {
+			res, err := r.Figure4()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		})
 	case "5", "6", "7":
-		res, err := r.TwoCore()
-		if err != nil {
-			fail(err)
-		}
-		switch *fig {
-		case "5":
-			res.RenderFigure5(w)
-		case "6":
-			res.RenderFigure6(w)
-		default:
-			res.RenderFigure7(w)
-		}
+		timed("figure "+*fig, func() error {
+			res, err := r.TwoCore()
+			if err != nil {
+				return err
+			}
+			switch *fig {
+			case "5":
+				res.RenderFigure5(w)
+			case "6":
+				res.RenderFigure6(w)
+			default:
+				res.RenderFigure7(w)
+			}
+			return nil
+		})
 	case "8":
-		res, err := r.Figure8()
-		if err != nil {
-			fail(err)
-		}
-		res.Render(w)
+		timed("figure 8", func() error {
+			res, err := r.Figure8()
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		})
 	case "9":
-		f8, err := r.Figure8()
-		if err != nil {
-			fail(err)
-		}
-		res, err := r.Figure9(f8)
-		if err != nil {
-			fail(err)
-		}
-		res.Render(w)
+		timed("figure 9", func() error {
+			f8, err := r.Figure8()
+			if err != nil {
+				return err
+			}
+			res, err := r.Figure9(f8)
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		})
 	case "sweep":
-		res, err := r.ShareSweep("")
-		if err != nil {
-			fail(err)
-		}
-		res.Render(w)
+		timed("share sweep", func() error {
+			res, err := r.ShareSweep("")
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			return nil
+		})
 	case "headline":
-		rep, err := r.All()
-		if err != nil {
-			fail(err)
-		}
-		rep.Headline().Render(w)
+		timed("headline", func() error {
+			rep, err := r.All()
+			if err != nil {
+				return err
+			}
+			rep.Headline().Render(w)
+			return nil
+		})
 	case "all":
-		rep, err := r.All()
-		if err != nil {
-			fail(err)
-		}
-		rep.Render(w)
+		timed("all figures", func() error {
+			rep, err := r.All()
+			if err != nil {
+				return err
+			}
+			rep.Render(w)
+			return nil
+		})
 	default:
 		fail(fmt.Errorf("unknown figure %q", *fig))
 	}

@@ -49,10 +49,11 @@ type line struct {
 // line addresses (byte address / line size); the cache never sees byte
 // offsets.
 type Cache struct {
-	cfg     Config
-	sets    [][]line
-	setMask uint64
-	useTick int64
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	tagShift uint
+	useTick  int64
 
 	Hits, Misses int64
 }
@@ -63,7 +64,7 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	n := cfg.Sets()
-	c := &Cache{cfg: cfg, setMask: uint64(n - 1)}
+	c := &Cache{cfg: cfg, setMask: uint64(n - 1), tagShift: uint(popshift(uint64(n - 1)))}
 	c.sets = make([][]line, n)
 	backing := make([]line, n*cfg.Ways)
 	for i := range c.sets {
@@ -77,7 +78,7 @@ func (c *Cache) Config() Config { return c.cfg }
 
 func (c *Cache) set(lineAddr uint64) []line { return c.sets[lineAddr&c.setMask] }
 
-func (c *Cache) tag(lineAddr uint64) uint64 { return lineAddr >> uint(popshift(c.setMask)) }
+func (c *Cache) tag(lineAddr uint64) uint64 { return lineAddr >> c.tagShift }
 
 func popshift(mask uint64) int {
 	n := 0
@@ -146,7 +147,7 @@ func (c *Cache) Fill(lineAddr uint64, dirty bool) (victim uint64, victimDirty, e
 	}
 	v := &s[vi]
 	if v.valid {
-		victim = v.tag<<uint(popshift(c.setMask)) | (lineAddr & c.setMask)
+		victim = v.tag<<c.tagShift | (lineAddr & c.setMask)
 		victimDirty = v.dirty
 		evicted = true
 	}

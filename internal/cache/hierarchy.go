@@ -67,6 +67,10 @@ type Hierarchy struct {
 	l1d *Cache
 	l2  *Cache
 
+	// Hit latencies, precomputed so the per-access hot path avoids
+	// copying whole Config structs out of the cache levels.
+	l1iLat, l1dLat, l2Lat int
+
 	mshrs  []mshr
 	byAddr map[uint64]int
 	free   int
@@ -105,6 +109,9 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		l1i:    l1i,
 		l1d:    l1d,
 		l2:     l2,
+		l1iLat: cfg.L1I.Latency,
+		l1dLat: cfg.L1D.Latency,
+		l2Lat:  cfg.L2.Latency,
 		mshrs:  make([]mshr, cfg.MSHRs),
 		byAddr: make(map[uint64]int, cfg.MSHRs),
 		free:   cfg.MSHRs,
@@ -126,12 +133,12 @@ func (h *Hierarchy) OutstandingMisses() int { return h.cfg.MSHRs - h.free }
 // Access performs one load, store, or instruction fetch to the given
 // line address.
 func (h *Hierarchy) Access(class AccessClass, lineAddr uint64) Result {
-	l1 := h.l1d
+	l1, l1Lat := h.l1d, h.l1dLat
 	if class == ClassIFetch {
-		l1 = h.l1i
+		l1, l1Lat = h.l1i, h.l1iLat
 	}
 	if l1.Access(lineAddr, class == ClassStore) {
-		return Result{Hit: true, Latency: l1.Config().Latency}
+		return Result{Hit: true, Latency: l1Lat}
 	}
 	if h.l2.Access(lineAddr, false) {
 		// Fill L1 from L2; an evicted dirty L1 line is merged back into
@@ -141,7 +148,7 @@ func (h *Hierarchy) Access(class AccessClass, lineAddr uint64) Result {
 		if evicted && dirty {
 			h.mergeDirtyIntoL2(victim)
 		}
-		return Result{Hit: true, Latency: l1.Config().Latency + h.l2.Config().Latency}
+		return Result{Hit: true, Latency: l1Lat + h.l2Lat}
 	}
 	// L2 miss: allocate or merge an MSHR.
 	if idx, ok := h.byAddr[lineAddr]; ok {

@@ -31,6 +31,32 @@ const (
 //
 // Smaller keys are higher priority. The controller breaks key ties by
 // arrival time and then request ID.
+//
+// # Key purity contract
+//
+// The event-driven controller caches per-bank scheduling decisions and
+// re-evaluates a bank only when something that can change its decision
+// happens. For that to be sound, Key must be a pure function of
+//
+//   - the request's own immutable fields (thread, address, arrival,
+//     bank coordinates, frozen VFT), and
+//   - policy state that changes only inside OnIssue or through an
+//     explicit reassignment entry point (core.ShareSetter /
+//     core.ChannelSetter).
+//
+// Key must not read clocks, counters, or any state mutated outside
+// those two paths, and calling it must not change the value a later
+// call would return (the VFT caching on the request is write-only
+// observability, never read back before freezing). Additionally,
+// OnIssue for a request on channel c may only mutate state that feeds
+// Key for requests on the same channel c — the VTMS policies satisfy
+// this because their registers are per (thread, bank) and per (thread,
+// channel) — so the controller invalidates exactly the issuing
+// channel's cached decisions. A future policy that couples channels
+// through shared mutable state would need a controller-wide
+// invalidation (memctrl.Controller.InvalidateScheduling) instead.
+// Share reassignment already takes that path: sim.System.SetShare
+// invalidates all banks after SetThreadShare.
 type Policy interface {
 	// Name identifies the policy in reports ("FR-FCFS", "FQ-VFTF", ...).
 	Name() string

@@ -68,26 +68,33 @@ type entry struct {
 
 // Core is one hardware thread's processor model.
 type Core struct {
-	id   int
-	cfg  Config
-	gen  trace.Source
-	hier *cache.Hierarchy
+	id      int
+	cfg     Config
+	gen     trace.Source
+	genFast *trace.Generator // non-nil when gen is the synthetic generator (devirtualized hot path)
+	hier    *cache.Hierarchy
 
 	rob   []entry
 	head  int32
 	count int32
 
-	issueQ   []int32 // rob slots of loads awaiting cache access
-	issueRdy []int64 // readyAt per issueQ entry
-	inFlight int     // loads issued, not completed
+	issueQ    []int32 // rob slots of loads awaiting cache access
+	issueRdy  []int64 // readyAt per issueQ entry
+	issueNACK []bool  // entry NACKed (MSHR full); retry only after a fill
+	inFlight  int     // loads issued, not completed
 
-	storeBuf []uint64 // retired store line addresses awaiting cache write
+	storeBuf  []uint64 // retired store line addresses awaiting cache write
+	storeNACK bool     // head store NACKed; retry only after a fill
 
 	tokenWaiters [][]int32 // MSHR token -> rob slots awaiting fill
 	tokenStall   int       // MSHR token stalling dispatch (ifetch), -1 none
-	ifetchNACK   bool
+	ifetchNACK   bool      // ifetch NACKed (MSHR full); parked until a fill
+	ifetchRetry  bool      // retry the latched ifetchLine instead of CodeLine
+	ifetchLine   uint64    // latched line address of a parked ifetch
 
 	sinceIFetch int
+
+	ins trace.Instr // dispatch scratch (avoids a per-instruction heap allocation)
 
 	// Retired counts committed instructions.
 	Retired int64
@@ -111,6 +118,7 @@ func New(id int, cfg Config, gen trace.Source, hier *cache.Hierarchy) (*Core, er
 		tokenWaiters: make([][]int32, 64),
 		tokenStall:   -1,
 	}
+	c.genFast, _ = gen.(*trace.Generator)
 	return c, nil
 }
 
@@ -124,7 +132,15 @@ func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
 func (c *Core) Generator() trace.Source { return c.gen }
 
 // slot converts a logical ROB position (0 = oldest) to a ring index.
-func (c *Core) slot(pos int32) int32 { return (c.head + pos) % int32(c.cfg.ROB) }
+// head and pos are both below the ROB size, so one conditional subtract
+// replaces the (much slower) integer modulo on this per-instruction path.
+func (c *Core) slot(pos int32) int32 {
+	s := c.head + pos
+	if n := int32(len(c.rob)); s >= n {
+		s -= n
+	}
+	return s
+}
 
 // resolve sets an entry's completion time and cascades to dependents
 // whose times become computable.
@@ -161,6 +177,7 @@ func (c *Core) pushIssue(idx int32, readyAt int64) {
 	c.rob[idx].inIssueQ = true
 	c.issueQ = append(c.issueQ, idx)
 	c.issueRdy = append(c.issueRdy, readyAt)
+	c.issueNACK = append(c.issueNACK, false)
 }
 
 // attachWaiter links waiter onto producer's wake list.
@@ -195,18 +212,28 @@ func (c *Core) retire(now int64) {
 			c.LoadsRetired++
 		}
 		c.Retired++
-		c.head = (c.head + 1) % int32(c.cfg.ROB)
+		c.head++
+		if c.head == int32(len(c.rob)) {
+			c.head = 0
+		}
 		c.count--
 	}
 }
 
 // drainStores performs the cache write for retired stores. Stores are
 // posted: a store miss allocates an MSHR (write-allocate fetch) but
-// wakes nothing; MSHR-full NACKs retry.
+// wakes nothing; MSHR-full NACKs retry. A NACK can only clear when a
+// fill frees an MSHR (the private hierarchy changes in no other way), so
+// the retry is deferred until OnFill instead of re-probing the caches
+// every cycle.
 func (c *Core) drainStores() {
+	if c.storeNACK {
+		return
+	}
 	for n := 0; n < c.cfg.StoresPerCycle && len(c.storeBuf) > 0; n++ {
 		res := c.hier.Access(cache.ClassStore, c.storeBuf[0])
 		if res.NACK {
+			c.storeNACK = true
 			return
 		}
 		c.storeBuf = c.storeBuf[:copy(c.storeBuf, c.storeBuf[1:])]
@@ -216,14 +243,17 @@ func (c *Core) drainStores() {
 func (c *Core) issueLoads(now int64) {
 	issued := 0
 	for i := 0; i < len(c.issueQ) && issued < c.cfg.LoadsPerCycle; i++ {
-		if c.issueRdy[i] > now || c.inFlight >= c.cfg.LoadQueue {
+		if c.issueNACK[i] || c.issueRdy[i] > now || c.inFlight >= c.cfg.LoadQueue {
 			continue
 		}
 		idx := c.issueQ[i]
 		e := &c.rob[idx]
 		res := c.hier.Access(cache.ClassLoad, e.addr)
 		if res.NACK {
-			continue // MSHR full; retry next cycle
+			// MSHR full: the outcome cannot change until a fill frees
+			// one, so park the entry instead of re-probing every cycle.
+			c.issueNACK[i] = true
+			continue
 		}
 		issued++
 		e.inIssueQ = false
@@ -232,6 +262,7 @@ func (c *Core) issueLoads(now int64) {
 		// for FIFO fairness among ready loads).
 		c.issueQ = append(c.issueQ[:i], c.issueQ[i+1:]...)
 		c.issueRdy = append(c.issueRdy[:i], c.issueRdy[i+1:]...)
+		c.issueNACK = append(c.issueNACK[:i], c.issueNACK[i+1:]...)
 		i--
 		if res.Hit {
 			c.resolve(idx, now+int64(res.Latency))
@@ -256,6 +287,13 @@ func (c *Core) OnFill(token int, now int64) {
 	if c.tokenStall == token {
 		c.tokenStall = -1
 	}
+	// The hierarchy changed (an MSHR freed and a line was installed):
+	// every parked MSHR-full NACK may now succeed.
+	c.storeNACK = false
+	c.ifetchNACK = false
+	for i := range c.issueNACK {
+		c.issueNACK[i] = false
+	}
 	if token < len(c.tokenWaiters) {
 		ws := c.tokenWaiters[token]
 		c.tokenWaiters[token] = ws[:0]
@@ -267,31 +305,47 @@ func (c *Core) OnFill(token int, now int64) {
 }
 
 func (c *Core) dispatch(now int64) {
-	if c.tokenStall >= 0 {
-		return // waiting for an instruction-fetch fill
+	if c.tokenStall >= 0 || c.ifetchNACK {
+		return // waiting for an instruction-fetch fill or a free MSHR
 	}
 	for n := 0; n < c.cfg.DispatchWidth && int(c.count) < c.cfg.ROB; n++ {
-		if c.ifetchNACK || c.sinceIFetch >= c.cfg.IFetchEvery {
-			if line, ok := c.gen.CodeLine(); ok {
+		if c.ifetchRetry || c.sinceIFetch >= c.cfg.IFetchEvery {
+			line, ok := c.ifetchLine, true
+			if !c.ifetchRetry {
+				if c.genFast != nil {
+					line, ok = c.genFast.CodeLine()
+				} else {
+					line, ok = c.gen.CodeLine()
+				}
+			}
+			if ok {
 				res := c.hier.Access(cache.ClassIFetch, line)
 				switch {
 				case res.NACK:
+					// MSHR full: park the fetch and retry the same line
+					// once a fill frees an entry (OnFill clears the NACK).
+					c.ifetchLine = line
+					c.ifetchRetry = true
 					c.ifetchNACK = true
 					return
 				case !res.Hit:
-					c.ifetchNACK = false
+					c.ifetchRetry = false
 					c.sinceIFetch = 0
 					c.tokenStall = res.Token
 					return
 				}
 			}
-			c.ifetchNACK = false
+			c.ifetchRetry = false
 			c.sinceIFetch = 0
 		}
 		c.sinceIFetch++
 
-		var ins trace.Instr
-		c.gen.Next(&ins)
+		ins := &c.ins
+		if c.genFast != nil {
+			c.genFast.Next(ins)
+		} else {
+			c.gen.Next(ins)
+		}
 		pos := c.count
 		idx := c.slot(pos)
 		e := &c.rob[idx]
@@ -329,6 +383,58 @@ func (c *Core) dispatch(now int64) {
 			e.completeAt = depAt + int64(e.lat)
 		}
 	}
+}
+
+// Forever is the NextWork sentinel for "blocked until a memory fill":
+// no amount of waiting will make Tick progress without external input.
+const Forever = int64(1) << 62
+
+// NextWork returns a conservative bound on the earliest cycle >= from at
+// which Tick can make progress: `from` itself when the core is busy, a
+// later cycle when every pipeline stage is waiting on a known time, and
+// Forever when all stages are blocked on a memory fill. The bound is
+// safe to cache until the next OnFill: between fills the core's inputs
+// change only with its own ticks.
+func (c *Core) NextWork(from int64) int64 {
+	// Dispatch: runs every cycle unless stalled on an ifetch fill, an
+	// MSHR-full ifetch NACK, or a full ROB.
+	if c.tokenStall < 0 && !c.ifetchNACK && int(c.count) < c.cfg.ROB {
+		return from
+	}
+	// Stores: the drain probes the cache every cycle while unparked.
+	if len(c.storeBuf) > 0 && !c.storeNACK {
+		return from
+	}
+	next := Forever
+	// Retire: the oldest instruction completes at a known cycle, unless
+	// it is unresolved (waiting on a fill) or a store stalled on a full
+	// store buffer (which drains only after a fill, handled above).
+	if c.count > 0 {
+		e := &c.rob[c.head]
+		if e.completeAt != unresolved &&
+			!(e.kind == trace.KindStore && len(c.storeBuf) >= c.cfg.StoreBuffer) {
+			if e.completeAt <= from {
+				return from
+			}
+			next = e.completeAt
+		}
+	}
+	// Loads: queued entries become issuable at known ready times; parked
+	// NACKs and a full load queue clear only on a fill.
+	if c.inFlight < c.cfg.LoadQueue {
+		for i, r := range c.issueRdy {
+			if c.issueNACK[i] {
+				continue
+			}
+			if r <= from {
+				return from
+			}
+			if r < next {
+				next = r
+			}
+		}
+	}
+	return next
 }
 
 // Drained reports whether the core has no in-flight memory activity

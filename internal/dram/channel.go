@@ -290,6 +290,12 @@ func (ch *Channel) AllBanksClosed() bool {
 // InRefresh reports whether a refresh is in progress at cycle now.
 func (ch *Channel) InRefresh(now int64) bool { return now < ch.refreshUntil }
 
+// RefreshEndsAt returns the first cycle after the most recent refresh
+// completes (a large negative value if no refresh was ever issued). The
+// event-driven controller uses it as the channel's wake time while a
+// refresh is in progress.
+func (ch *Channel) RefreshEndsAt() int64 { return ch.refreshUntil }
+
 // Refreshes returns the number of refresh commands issued.
 func (ch *Channel) Refreshes() int64 { return ch.refreshedCount }
 

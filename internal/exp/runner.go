@@ -45,9 +45,19 @@ func QuickConfig() Config {
 type Runner struct {
 	cfg Config
 
-	mu    sync.Mutex
-	memo  map[string]sim.Result
-	limit chan struct{}
+	mu        sync.Mutex
+	memo      map[string]sim.Result
+	simCycles int64
+	limit     chan struct{}
+}
+
+// SimulatedCycles returns the total cycles actually simulated so far
+// (memoized recalls are not double-counted). cmd/experiments uses the
+// delta across a figure to report simulated-cycles-per-second.
+func (r *Runner) SimulatedCycles() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simCycles
 }
 
 // NewRunner returns a Runner over the given configuration.
@@ -113,6 +123,7 @@ func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
 	}
 	r.mu.Lock()
 	r.memo[key] = res
+	r.simCycles += r.cfg.Warmup + r.cfg.Window
 	r.mu.Unlock()
 	return res, nil
 }

@@ -213,7 +213,24 @@ type Controller struct {
 
 	// scratch buffer reused across cycles to avoid allocation
 	cands []candidate
+
+	// Event-driven scheduling state. bankWake[b] is a conservative lower
+	// bound on the next cycle bankSchedule(b) could offer a candidate;
+	// banks with a future wake are skipped. nextEvent is a conservative
+	// lower bound on the next cycle the controller can do anything at all
+	// (complete a read, flip or issue a refresh, or issue a command), so
+	// Tick degenerates to a vclock increment before it. Both are
+	// invalidated (lowered) only by readiness-changing events: a request
+	// acceptance, a command issue on the same channel, a refresh state
+	// change, or a policy share change. Strict mode clears eventDriven
+	// and restores the seed's exhaustive per-cycle scan as an oracle.
+	eventDriven bool
+	bankWake    []int64
+	nextEvent   int64
 }
+
+// Forever is the "no event scheduled" sentinel for wake times.
+const Forever = int64(1) << 62
 
 // New returns a controller using the given scheduling policy.
 func New(cfg Config, policy core.Policy) (*Controller, error) {
@@ -262,6 +279,8 @@ func New(cfg Config, policy core.Policy) (*Controller, error) {
 		nextRefreshAt: make([]int64, nch),
 		stats:         make([]ThreadStats, cfg.Threads),
 		cands:         make([]candidate, 0, cfg.DRAM.Banks()),
+		eventDriven:   true,
+		bankWake:      make([]int64, nch*cfg.DRAM.Banks()),
 	}
 	for i := range c.stats {
 		c.stats[i].LatHist = stats.NewHistogram(8, 512) // up to 4096 cycles
@@ -316,6 +335,67 @@ func (c *Controller) VClock() int64 { return c.vclock }
 // PendingRequests returns the number of requests awaiting service.
 func (c *Controller) PendingRequests() int { return c.pendingTotal }
 
+// SetEventDriven toggles the event-driven fast path. Disabling it
+// restores the seed's exhaustive per-cycle scan (the strict-mode
+// cross-check oracle); simulated results are identical either way.
+func (c *Controller) SetEventDriven(on bool) {
+	c.eventDriven = on
+	c.InvalidateScheduling()
+}
+
+// NextEventAt returns a conservative lower bound on the next cycle at
+// which the controller can complete a read, change refresh state, or
+// issue a command. Ticks strictly before it are no-ops (apart from the
+// virtual clock), which System.Step exploits to skip ahead.
+func (c *Controller) NextEventAt() int64 { return c.nextEvent }
+
+// InvalidateScheduling discards every cached wake time, forcing the
+// next Tick to re-examine all banks. Callers must invoke it after any
+// out-of-band change that can affect scheduling decisions, e.g. a
+// runtime share reassignment (core.ShareSetter), which rewrites policy
+// keys without a command issue.
+func (c *Controller) InvalidateScheduling() {
+	for i := range c.bankWake {
+		c.bankWake[i] = 0
+	}
+	c.nextEvent = 0
+}
+
+// CanAccept reports whether Accept would succeed for the thread right
+// now (buffer occupancy only; it never NACK-counts). Occupancy changes
+// only at controller event cycles — reads free their entry when the
+// data burst completes, writes when the write command issues — so a
+// false result stays false until NextEventAt.
+func (c *Controller) CanAccept(thread int, isWrite bool) bool {
+	if isWrite {
+		if c.cfg.SharedBuffers {
+			return c.writeOccTotal < c.cfg.WriteEntriesPerThread*c.cfg.Threads
+		}
+		return c.writeOcc[thread] < c.cfg.WriteEntriesPerThread
+	}
+	if c.cfg.SharedBuffers {
+		return c.readOccTotal < c.cfg.ReadEntriesPerThread*c.cfg.Threads
+	}
+	return c.readOcc[thread] < c.cfg.ReadEntriesPerThread
+}
+
+// SkipTo credits the virtual clock for the skipped cycles [from, to),
+// exactly as if Tick had run for each: vclock advances on every cycle
+// channel 0 is not refreshing. Callers guarantee the span contains no
+// controller event (to <= NextEventAt), so the refresh window active at
+// from is the only one overlapping the span.
+func (c *Controller) SkipTo(from, to int64) {
+	n := to - from
+	if ru := c.chans[0].RefreshEndsAt(); ru > from {
+		end := ru
+		if to < end {
+			end = to
+		}
+		n -= end - from
+	}
+	c.vclock += n
+}
+
 // Accept offers a request to the controller at cycle now. It returns
 // false (NACK) when the thread's transaction or write buffer partition
 // is full (or, with SharedBuffers, when the pooled buffer is full),
@@ -366,6 +446,15 @@ func (c *Controller) Accept(thread int, lineAddr uint64, isWrite bool, now int64
 	}
 	c.pending[gb] = append(c.pending[gb], req)
 	c.pendingTotal++
+	// A new request can make its bank schedulable immediately. Wake the
+	// bank at now (not now+1): callers may Accept before Tick within the
+	// same cycle, and a same-cycle Tick must still see the request.
+	if c.bankWake[gb] > now {
+		c.bankWake[gb] = now
+	}
+	if c.nextEvent > now {
+		c.nextEvent = now
+	}
 	return true
 }
 
@@ -424,6 +513,15 @@ func better(a, b *candidate) bool {
 // manages refresh, and issues at most one SDRAM command per channel,
 // chosen by the bank and channel schedulers.
 func (c *Controller) Tick(now int64) {
+	// Event-driven fast path: nothing can happen before nextEvent, so
+	// the whole tick reduces to the virtual-clock update.
+	if c.eventDriven && now < c.nextEvent {
+		if !c.chans[0].InRefresh(now) {
+			c.vclock++
+		}
+		return
+	}
+
 	// 1. Deliver reads whose data burst has completed.
 	for chIdx := range c.chans {
 		q := c.inflight[chIdx]
@@ -442,7 +540,13 @@ func (c *Controller) Tick(now int64) {
 				c.OnReadDone(f.req, now)
 			}
 		}
-		if head > 64 && head*2 > len(q) {
+		if head == len(q) {
+			// Fully drained: reset in place so long runs reuse the
+			// buffer from index 0 instead of crawling rightward and
+			// holding peak-sized backing arrays.
+			q = q[:0]
+			head = 0
+		} else if head > 64 && head*2 > len(q) {
 			q = append(q[:0], q[head:]...)
 			head = 0
 		}
@@ -459,8 +563,12 @@ func (c *Controller) Tick(now int64) {
 
 	// 3. Per channel: refresh management and command scheduling.
 	for chIdx, ch := range c.chans {
-		if now >= c.nextRefreshAt[chIdx] {
+		if now >= c.nextRefreshAt[chIdx] && !c.refreshWanted[chIdx] {
 			c.refreshWanted[chIdx] = true
+			// Pending refresh changes bank scheduling (idle open rows
+			// must drain, activates are suppressed): re-examine the
+			// channel's banks.
+			c.wakeChannel(chIdx, now)
 		}
 		inRefresh := ch.InRefresh(now)
 		if c.refreshWanted[chIdx] && !inRefresh && ch.AllBanksClosed() && ch.Ready(dram.KindRefresh, 0, now) {
@@ -468,6 +576,13 @@ func (c *Controller) Tick(now int64) {
 			c.cmdCount[dram.KindRefresh]++
 			c.refreshWanted[chIdx] = false
 			c.nextRefreshAt[chIdx] += int64(c.cfg.DRAM.Timing.TREF)
+			// The channel sleeps until the refresh completes. Raising
+			// wakes is safe here (and only here): refreshUntil lower-
+			// bounds EarliestIssue of every command on the channel.
+			lo := chIdx * c.banksPerChan
+			for b := lo; b < lo+c.banksPerChan; b++ {
+				c.bankWake[b] = ch.RefreshEndsAt()
+			}
 			continue
 		}
 		if inRefresh {
@@ -475,11 +590,21 @@ func (c *Controller) Tick(now int64) {
 		}
 
 		// Bank schedulers: each bank offers at most one ready command.
+		// Dormant banks (wake time in the future) are skipped: nothing
+		// that changes their readiness has happened since the wake was
+		// computed, or the wake would have been invalidated.
 		c.cands = c.cands[:0]
 		lo := chIdx * c.banksPerChan
 		for b := lo; b < lo+c.banksPerChan; b++ {
-			if cand, ok := c.bankSchedule(chIdx, b, now); ok {
+			if c.eventDriven && c.bankWake[b] > now {
+				continue
+			}
+			cand, ok, wake := c.bankSchedule(chIdx, b, now)
+			if ok {
+				c.bankWake[b] = now
 				c.cands = append(c.cands, cand)
+			} else {
+				c.bankWake[b] = wake
 			}
 		}
 		if len(c.cands) == 0 {
@@ -495,11 +620,78 @@ func (c *Controller) Tick(now int64) {
 		}
 		c.issue(best, now)
 	}
+
+	if c.eventDriven {
+		c.nextEvent = c.computeNextEvent(now)
+	}
+}
+
+// wakeChannel forces every bank of a channel to be re-examined at cycle
+// at (lowering only — a bank already due stays due).
+func (c *Controller) wakeChannel(chIdx int, at int64) {
+	lo := chIdx * c.banksPerChan
+	for b := lo; b < lo+c.banksPerChan; b++ {
+		if c.bankWake[b] > at {
+			c.bankWake[b] = at
+		}
+	}
+	if c.nextEvent > at {
+		c.nextEvent = at
+	}
+}
+
+// computeNextEvent derives the controller's next interesting cycle from
+// the per-bank wake times, in-flight data bursts, and refresh state. It
+// is called at the end of every full Tick; the result is always at
+// least now+1 (the controller never needs to revisit the current
+// cycle).
+func (c *Controller) computeNextEvent(now int64) int64 {
+	next := Forever
+	for chIdx, ch := range c.chans {
+		// In-flight read completions.
+		q := c.inflight[chIdx]
+		if head := c.inflightHead[chIdx]; head < len(q) && q[head].doneAt < next {
+			next = q[head].doneAt
+		}
+		// Refresh: the end of the current window, the earliest legal
+		// issue of a wanted refresh, or the next deadline.
+		switch {
+		case ch.InRefresh(now):
+			if e := ch.RefreshEndsAt(); e < next {
+				next = e
+			}
+		case c.refreshWanted[chIdx]:
+			// EarliestIssue(Refresh) is Forever while a bank is open;
+			// the draining precharges are covered by the bank wakes.
+			if e := ch.EarliestIssue(dram.KindRefresh, 0); e < next {
+				next = e
+			}
+		default:
+			if e := c.nextRefreshAt[chIdx]; e < next {
+				next = e
+			}
+		}
+		// Bank scheduler wakes.
+		lo := chIdx * c.banksPerChan
+		for b := lo; b < lo+c.banksPerChan; b++ {
+			if w := c.bankWake[b]; w < next {
+				next = w
+			}
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // bankSchedule runs one bank's scheduler and returns its ready command
-// offer, if any.
-func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool) {
+// offer, if any. When no command is ready it also returns a
+// conservative wake time: the earliest cycle at which it could offer
+// one, assuming no intervening readiness-changing event (those lower
+// the bank's wake through the invalidation hooks). Forever means "only
+// an invalidation can revive this bank".
+func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int64) {
 	ch := c.chans[chIdx]
 	lb := b % c.banksPerChan
 	reqs := c.pending[b]
@@ -507,7 +699,7 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool) {
 		// Closed-row policy: close an idle open row. While a refresh is
 		// pending this also drains the bank.
 		if _, open := ch.BankOpen(lb); open && (c.cfg.RowPolicy == ClosedRow || c.refreshWanted[chIdx]) {
-			if ch.Ready(dram.KindPrecharge, lb, now) {
+			if e := ch.EarliestIssue(dram.KindPrecharge, lb); e <= now {
 				return candidate{
 					req:  nil,
 					kind: dram.KindPrecharge,
@@ -515,10 +707,14 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool) {
 					key:  int64(1) << 62, // lowest priority
 					arr:  int64(1) << 62,
 					id:   ^uint64(0),
-				}, true
+				}, true, now
+			} else {
+				return candidate{}, false, e
 			}
 		}
-		return candidate{}, false
+		// Idle and closed (or open-row policy): nothing to do until a
+		// request arrives or a refresh falls due.
+		return candidate{}, false, Forever
 	}
 
 	rule, x := c.policy.BankRule()
@@ -537,6 +733,7 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool) {
 		bestKey   int64
 		bestReady bool
 		bestCAS   bool
+		minEarly  = Forever // non-strict: min EarliestIssue over requests
 	)
 	for _, r := range reqs {
 		state := c.bankStateFor(r)
@@ -552,7 +749,11 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool) {
 			}
 			continue
 		}
-		ready := ch.Ready(kind, lb, now)
+		early := ch.EarliestIssue(kind, lb)
+		if early < minEarly {
+			minEarly = early
+		}
+		ready := early <= now
 		isCAS := kind == dram.KindRead || kind == dram.KindWrite
 		if bestReq == nil {
 			bestReq, bestKind, bestKey, bestReady, bestCAS = r, kind, key, ready, isCAS
@@ -584,16 +785,25 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool) {
 		bestReq, bestKind, bestKey, bestReady, bestCAS = r, kind, key, ready, isCAS
 	}
 	if strict {
-		bestReady = ch.Ready(bestKind, lb, now)
+		// The bank waits for the key-selected request alone, so its
+		// earliest legal issue is the bank's wake time. (The selection
+		// itself only changes on invalidation events: keys move on
+		// command issue or SetShare, the request set on accept, and the
+		// FQ strict/first-ready flip on this bank's own activates.)
+		early := ch.EarliestIssue(bestKind, lb)
+		minEarly = early
+		bestReady = early <= now
 		bestCAS = bestKind == dram.KindRead || bestKind == dram.KindWrite
 	}
 	// A refresh is pending: finish closing the bank but start nothing
-	// new (no activates).
+	// new. Activates are only selected when the bank is closed, in which
+	// case every pending request needs one, so the bank is dormant until
+	// the refresh completes (which resets the channel's wakes).
 	if c.refreshWanted[chIdx] && bestKind == dram.KindActivate {
-		return candidate{}, false
+		return candidate{}, false, Forever
 	}
 	if !bestReady {
-		return candidate{}, false
+		return candidate{}, false, minEarly
 	}
 	return candidate{
 		req:   bestReq,
@@ -604,7 +814,7 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool) {
 		arr:   bestReq.Arrival,
 		id:    bestReq.ID,
 		isCAS: bestCAS,
-	}, true
+	}, true, now
 }
 
 // issue applies the winning candidate to the DRAM and updates request
@@ -612,6 +822,11 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool) {
 func (c *Controller) issue(cand *candidate, now int64) {
 	c.cmdCount[cand.kind]++
 	ch, lb := c.chanOf(cand.bank)
+	// Issuing any command moves the channel-global constraints (tCCD,
+	// tWTR, data-bus occupancy), and issuing a request command rewrites
+	// the policy's same-channel keys (see the core.Policy contract), so
+	// every bank wake on this channel is stale.
+	c.wakeChannel(cand.bank/c.banksPerChan, now)
 	if cand.req == nil {
 		// Idle-close precharge: device state only; no request, and no
 		// VTMS charge (no thread is waiting on it).

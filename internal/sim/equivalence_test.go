@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/trace"
+)
+
+// controllerFingerprint captures every observable controller outcome
+// beyond the Result struct: the virtual clock and the per-kind SDRAM
+// command counts.
+type controllerFingerprint struct {
+	VClock   int64
+	Commands [6]int64
+}
+
+// TestEventDrivenEquivalence is the tentpole's oracle: the event-driven
+// skip-ahead path must reproduce the strict per-cycle path bit for bit.
+// A 2-core art+vpr mix (one bandwidth hog, one latency-sensitive
+// thread) runs for over 200k cycles — through multiple refresh windows
+// (tREF = 280k with warmup plus window) — under all five policies, and
+// the Result structs, virtual clocks, and command counts must match
+// exactly.
+func TestEventDrivenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow")
+	}
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []struct {
+		name    string
+		factory PolicyFactory
+	}{
+		{"FCFS", FCFS},
+		{"FR-FCFS", FRFCFS},
+		{"FR-VFTF", FRVFTF},
+		{"FQ-VFTF", FQVFTF},
+		{"FR-VSTF", FRVSTF},
+	}
+	const warmup, window = 50_000, 200_000
+	for _, p := range policies {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			run := func(strict bool) (Result, controllerFingerprint) {
+				s, err := New(Config{
+					Workload: []trace.Profile{art, vpr},
+					Policy:   p.factory,
+					Seed:     7,
+					Strict:   strict,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Step(warmup)
+				s.BeginMeasurement()
+				s.Step(window)
+				ctrl := s.Controller()
+				fp := controllerFingerprint{VClock: ctrl.VClock()}
+				for k := dram.KindActivate; k <= dram.KindRefresh; k++ {
+					fp.Commands[k] = ctrl.CommandCount(k)
+				}
+				return s.Results(), fp
+			}
+			fast, fastFP := run(false)
+			strict, strictFP := run(true)
+			if !reflect.DeepEqual(fast, strict) {
+				t.Errorf("Result diverges:\n fast:   %+v\n strict: %+v", fast, strict)
+			}
+			if fastFP != strictFP {
+				t.Errorf("controller state diverges:\n fast:   %+v\n strict: %+v", fastFP, strictFP)
+			}
+		})
+	}
+}
+
+// TestEquivalenceWithSharesAndRefresh exercises the invalidation paths
+// the main sweep does not: a mid-run share reassignment (which rewrites
+// policy keys with no command issued) and a multi-channel
+// configuration, again demanding bit-identical outcomes.
+func TestEquivalenceWithSharesAndRefresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow")
+	}
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(strict bool, channels int) (Result, int64) {
+		cfg := Config{
+			Workload: []trace.Profile{art, vpr},
+			Policy:   FQVFTF,
+			Seed:     11,
+			Strict:   strict,
+		}
+		cfg.Mem.Channels = channels
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Step(30_000)
+		s.SetShare(0, core.Share{Num: 3, Den: 4})
+		s.SetShare(1, core.Share{Num: 1, Den: 4})
+		s.BeginMeasurement()
+		s.Step(120_000)
+		return s.Results(), s.Controller().VClock()
+	}
+	for _, channels := range []int{1, 2} {
+		fast, fastV := run(false, channels)
+		strict, strictV := run(true, channels)
+		if !reflect.DeepEqual(fast, strict) {
+			t.Errorf("channels=%d: Result diverges:\n fast:   %+v\n strict: %+v", channels, fast, strict)
+		}
+		if fastV != strictV {
+			t.Errorf("channels=%d: vclock diverges: fast %d strict %d", channels, fastV, strictV)
+		}
+	}
+}

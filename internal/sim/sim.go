@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -86,6 +87,13 @@ type Config struct {
 
 	// Seed perturbs the trace generators deterministically.
 	Seed uint64
+
+	// Strict disables the event-driven fast path and runs the seed's
+	// exhaustive cycle-by-cycle loop. Simulated results are identical
+	// either way (the equivalence tests assert it); strict mode exists
+	// as a cross-check oracle and a debugging aid. The FQMS_STRICT
+	// environment variable (any non-empty value) forces it globally.
+	Strict bool
 }
 
 // withDefaults fills zero-valued fields with Table 5 defaults.
@@ -155,6 +163,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RespTransit == 0 {
 		c.RespTransit = 10
 	}
+	if os.Getenv("FQMS_STRICT") != "" {
+		c.Strict = true
+	}
 	return c, nil
 }
 
@@ -223,6 +234,7 @@ func New(cfg Config) (*System, error) {
 		t := req.Thread
 		s.respQ[t] = append(s.respQ[t], timedAddr{addr: req.Addr, at: now + int64(s.cfg.RespTransit)})
 	}
+	ctrl.SetEventDriven(!cfg.Strict)
 	return s, nil
 }
 
@@ -239,6 +251,9 @@ func (s *System) SetShare(thread int, share core.Share) bool {
 	ss, ok := s.ctrl.Policy().(core.ShareSetter)
 	if ok {
 		ss.SetThreadShare(thread, share)
+		// Share reassignment rewrites policy keys without a command
+		// issue, so every cached scheduling decision is stale.
+		s.ctrl.InvalidateScheduling()
 	}
 	return ok
 }
@@ -246,7 +261,13 @@ func (s *System) SetShare(thread int, share core.Share) bool {
 // Cycle returns the current cycle.
 func (s *System) Cycle() int64 { return s.cycle }
 
-// Step advances the system by n cycles.
+// Step advances the system by n cycles. Unless Config.Strict is set it
+// uses an event-driven fast path: after fully simulating a cycle, it
+// computes the earliest future cycle at which any component can act —
+// a transit-queue delivery, a core with issuable work (cpu.NextWork),
+// or a controller event (memctrl.NextEventAt) — and jumps the clock
+// there, batch-crediting the skipped cycles to the virtual clock.
+// Simulated results are bit-identical to the strict per-cycle loop.
 func (s *System) Step(n int64) {
 	end := s.cycle + n
 	for s.cycle < end {
@@ -298,8 +319,70 @@ func (s *System) Step(n int64) {
 				}
 			}
 		}
+
+		if !s.cfg.Strict {
+			if wake := s.nextWake(now, end); wake > now+1 {
+				// No component can act before wake: credit the virtual
+				// clock for the skipped span and jump.
+				s.ctrl.SkipTo(now+1, wake)
+				s.cycle = wake
+				continue
+			}
+		}
 		s.cycle++
 	}
+}
+
+// nextWake returns the earliest cycle in (now, end] at which any core or
+// the controller can make progress, given that cycle now has been fully
+// simulated. It is conservative: returning now+1 is always safe (no
+// skip), and any later value must be provably dormant in between.
+func (s *System) nextWake(now, end int64) int64 {
+	wake := end
+	for i, c := range s.cores {
+		// Pending fills: delivery times are monotone, so the head bounds
+		// the queue.
+		if q := s.respQ[i]; len(q) > 0 {
+			if q[0].at <= now+1 {
+				return now + 1
+			}
+			if q[0].at < wake {
+				wake = q[0].at
+			}
+		}
+		// Pending requests toward the controller. A due head that the
+		// controller would NACK is ignored here: buffer occupancy only
+		// changes at controller event cycles, which NextEventAt covers.
+		if q := s.fetchQ[i]; len(q) > 0 && s.ctrl.CanAccept(i, false) {
+			if q[0].at <= now+1 {
+				return now + 1
+			}
+			if q[0].at < wake {
+				wake = q[0].at
+			}
+		}
+		if q := s.wbQ[i]; len(q) > 0 && s.ctrl.CanAccept(i, true) {
+			if q[0].at <= now+1 {
+				return now + 1
+			}
+			if q[0].at < wake {
+				wake = q[0].at
+			}
+		}
+		// The core itself: retirement, load issue, store drain, dispatch.
+		if w := c.NextWork(now + 1); w <= now+1 {
+			return now + 1
+		} else if w < wake {
+			wake = w
+		}
+	}
+	if w := s.ctrl.NextEventAt(); w < wake {
+		wake = w
+	}
+	if wake < now+1 {
+		return now + 1
+	}
+	return wake
 }
 
 // snapshot captures cumulative counters at the start of a measurement

@@ -147,8 +147,34 @@ func (r *rng) next() uint64 {
 	return r.s * 0x2545f4914f6cdd1d
 }
 
-// float returns a uniform float64 in [0, 1).
-func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+// float returns a uniform float64 in [0, 1). Multiplying by the exact
+// reciprocal of 2^53 is bit-identical to dividing and avoids a DIVSD on
+// this per-instruction path.
+func (r *rng) float() float64 { return float64(r.next()>>11) * (1.0 / (1 << 53)) }
+
+// draw returns the raw 53-bit uniform underlying float, for comparison
+// against thresh(q) values: draw() < thresh(q) is bit-identical to
+// float() < q without the integer-to-float conversion.
+func (r *rng) draw() uint64 { return r.next() >> 11 }
+
+// thresh converts a probability to the integer threshold t such that
+// draw() < t exactly when float() < q: float() is v * 2^-53 for integer
+// v, so v*2^-53 < q iff v < ceil(q * 2^53) (q*2^53 is an exact float64
+// operation — the scale is a power of two).
+func thresh(q float64) uint64 {
+	t := q * (1 << 53)
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1<<53 {
+		return 1 << 53
+	}
+	u := uint64(t)
+	if float64(u) < t {
+		u++ // ceil
+	}
+	return u
+}
 
 // intn returns a uniform int in [0, n).
 func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
@@ -172,8 +198,28 @@ type Generator struct {
 	codeLines int
 	codePos   uint64
 
+	// Integer draw thresholds (see thresh), precomputed from the
+	// profile's probabilities so the per-instruction path compares raw
+	// rng draws instead of converting to float64. burstProbT encodes
+	// the per-instruction burst start probability solved from MemFrac
+	// and BurstLen (see NewGenerator); burstLen is the clamped
+	// BurstLen.
+	burstProbT uint64
+	seqFracT   uint64
+	seqChaseT  uint64
+	storeFracT uint64
+	fpFracT    uint64
+	depFracT   uint64
+	burstLen   int
+
 	count uint64
 }
+
+// Fixed thresholds of Next's compute-instruction mix.
+var (
+	branchT = thresh(0.15)
+	halfT   = thresh(0.5)
+)
 
 // regionLines is the span of line addresses private to each thread
 // (4M lines = 256MB), so threads never share cache lines while still
@@ -212,6 +258,21 @@ func NewGenerator(p Profile, thread int, seed uint64) (*Generator, error) {
 		g.resetStream(i)
 	}
 	g.codeLines = p.CodeKB * 1024 / lineBytes
+	// A burst of length B started with probability q per non-burst
+	// instruction yields a memory-instruction fraction qB/(qB + 1 - q);
+	// solve for q so the average intensity is exactly MemFrac.
+	bl := p.BurstLen
+	if bl < 1 {
+		bl = 1
+	}
+	f := p.MemFrac
+	g.burstLen = bl
+	g.burstProbT = thresh(f / (float64(bl)*(1-f) + f))
+	g.seqFracT = thresh(p.SeqFrac)
+	g.seqChaseT = thresh(p.SeqFrac + p.ChaseFrac)
+	g.storeFracT = thresh(p.StoreFrac)
+	g.fpFracT = thresh(p.FpFrac)
+	g.depFracT = thresh(p.DepFrac)
 	return g, nil
 }
 
@@ -259,19 +320,10 @@ func (g *Generator) Next(ins *Instr) {
 		g.memInstr(ins, g.burstStream)
 		return
 	}
-	// A burst of length B started with probability q per non-burst
-	// instruction yields a memory-instruction fraction qB/(qB + 1 - q);
-	// solve for q so the average intensity is exactly MemFrac.
-	bl := g.p.BurstLen
-	if bl < 1 {
-		bl = 1
-	}
-	f := g.p.MemFrac
-	q := f / (float64(bl)*(1-f) + f)
-	if g.r.float() < q {
-		g.burstLeft = bl - 1
+	if g.r.draw() < g.burstProbT {
+		g.burstLeft = g.burstLen - 1
 		g.burstStream = -1
-		if bl > 1 && g.r.float() < g.p.SeqFrac {
+		if g.burstLen > 1 && g.r.draw() < g.seqFracT {
 			// Stream-coherent burst: a long run of consecutive lines
 			// from a single stream (one or two DRAM rows).
 			g.burstStream = g.r.intn(len(g.streamPos))
@@ -280,21 +332,21 @@ func (g *Generator) Next(ins *Instr) {
 		return
 	}
 	// Compute instruction.
-	x := g.r.float()
+	x := g.r.draw()
 	switch {
-	case x < 0.15:
+	case x < branchT:
 		ins.Kind = KindBranch
 		ins.Lat = 1
-	case g.r.float() < g.p.FpFrac:
+	case g.r.draw() < g.fpFracT:
 		ins.Kind = KindFp
 		ins.Lat = 4
 	default:
 		ins.Kind = KindInt
 		ins.Lat = 1
 	}
-	if g.r.float() < g.p.DepFrac {
+	if g.r.draw() < g.depFracT {
 		ins.Dep = 1
-	} else if g.r.float() < 0.5 {
+	} else if g.r.draw() < halfT {
 		ins.Dep = 4 + g.r.intn(12)
 	}
 }
@@ -303,18 +355,18 @@ func (g *Generator) Next(ins *Instr) {
 // that sequential stream (a stream-coherent burst); -1 selects the
 // profile's pattern mixture.
 func (g *Generator) memInstr(ins *Instr, stream int) {
-	isStore := g.r.float() < g.p.StoreFrac
+	isStore := g.r.draw() < g.storeFracT
 	if isStore {
 		ins.Kind = KindStore
 	} else {
 		ins.Kind = KindLoad
 	}
-	x := g.r.float()
+	x := g.r.draw()
 	if stream >= 0 {
 		x = 0 // force the sequential arm onto the pinned stream
 	}
 	switch {
-	case x < g.p.SeqFrac:
+	case x < g.seqFracT:
 		// Streaming: round-robin across streams (or the burst's pinned
 		// stream), wrapping within the working set.
 		i := stream
@@ -328,7 +380,7 @@ func (g *Generator) memInstr(ins *Instr, stream int) {
 		if g.streamLeft[i] <= 0 {
 			g.resetStream(i)
 		}
-	case x < g.p.SeqFrac+g.p.ChaseFrac:
+	case x < g.seqChaseT:
 		// Pointer chase: a random line in the working set whose address
 		// depends on the previous load.
 		ins.Addr = g.base + uint64(g.r.intn(g.wsLines))
