@@ -33,6 +33,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "trace generator seed")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
 		asJSON   = flag.Bool("json", false, "emit results as JSON")
+		auditOn  = flag.Bool("audit", false, "run the invariant auditor (panic on any violation)")
 	)
 	flag.Parse()
 
@@ -64,7 +65,7 @@ func main() {
 		fail(err)
 	}
 
-	cfg := sim.Config{Workload: profiles, Policy: factory, Seed: *seed}
+	cfg := sim.Config{Workload: profiles, Policy: factory, Seed: *seed, Audit: *auditOn}
 	if *scale != 1 {
 		cfg.Mem.DRAM = dram.DefaultConfig()
 		cfg.Mem.DRAM.Timing = dram.DDR2800().Scale(*scale)

@@ -113,6 +113,13 @@ type SystemConfig struct {
 
 	// Seed perturbs the deterministic trace generators.
 	Seed uint64
+
+	// Audit attaches the runtime invariant auditor: every SDRAM command
+	// and completed request is re-validated against independently
+	// recomputed timing, conservation, VTMS, and FQ scheduling
+	// invariants; a violation panics. Results are identical either way.
+	// The FQMS_AUDIT environment variable also enables it globally.
+	Audit bool
 }
 
 // Run simulates the configured system and reports per-thread and
@@ -142,6 +149,7 @@ func Run(cfg SystemConfig) (Result, error) {
 		Shares:   cfg.Shares,
 		Policy:   factory,
 		Seed:     cfg.Seed,
+		Audit:    cfg.Audit,
 	}
 	if cfg.MemoryScale > 1 {
 		scfg.Mem.DRAM = dram.DefaultConfig()
@@ -190,6 +198,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		Shares:   cfg.Shares,
 		Policy:   factory,
 		Seed:     cfg.Seed,
+		Audit:    cfg.Audit,
 	}
 	if cfg.MemoryScale > 1 {
 		scfg.Mem.DRAM = dram.DefaultConfig()

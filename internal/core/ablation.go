@@ -27,13 +27,13 @@ func (*FRVFTFArrival) Name() string { return "FR-VFTF-arrival" }
 // average service estimate, the first time the request is examined, and
 // frozen immediately (arrival-time semantics).
 func (p *FRVFTFArrival) Key(r *Request, _ BankState) int64 {
-	if !r.VFTFrozen {
+	if !r.KeyFrozen {
 		v := p.vtms[r.Thread]
 		bs := maxVT(FromCycles(r.Arrival), v.BankR(r.GlobalBank)) + v.scale(p.avgBankL)
-		r.VFT = maxVT(bs, v.ChanRAt(r.Channel)) + v.scale(v.timing.ChannelService())
-		r.VFTFrozen = true
+		r.Key = maxVT(bs, v.ChanRAt(r.Channel)) + v.scale(v.timing.ChannelService())
+		r.KeyFrozen = true
 	}
-	return int64(r.VFT)
+	return int64(r.Key)
 }
 
 // OnIssue implements Policy: registers still update per issued command

@@ -164,12 +164,16 @@ type Request struct {
 	// (channel*ranks + rank)*banksPerRank + bank.
 	GlobalBank int
 
-	// VFT is the request's virtual finish-time. Before service begins it
-	// is recomputed on demand from the thread's VTMS registers and the
-	// current bank state; once the first SDRAM command for the request
-	// issues, it is frozen (VFTFrozen).
-	VFT       VTime
-	VFTFrozen bool
+	// Key is the request's policy priority key in virtual-time fixed
+	// point: the virtual finish-time under the VFTF-family policies
+	// (FR-VFTF, FQ-VFTF, FR-VFTF-arrival) and the virtual *start*-time
+	// under FR-VSTF. Before service begins it is recomputed on demand
+	// from the thread's VTMS registers and the current bank state (the
+	// stored value is write-only observability); once the first SDRAM
+	// command for the request issues, it is frozen (KeyFrozen) and must
+	// never change again — the audit layer enforces this contract.
+	Key       VTime
+	KeyFrozen bool
 
 	// Issued counts SDRAM commands already issued for this request.
 	Issued int

@@ -39,14 +39,14 @@ const (
 // happens. For that to be sound, Key must be a pure function of
 //
 //   - the request's own immutable fields (thread, address, arrival,
-//     bank coordinates, frozen VFT), and
+//     bank coordinates, frozen key), and
 //   - policy state that changes only inside OnIssue or through an
 //     explicit reassignment entry point (core.ShareSetter /
 //     core.ChannelSetter).
 //
 // Key must not read clocks, counters, or any state mutated outside
 // those two paths, and calling it must not change the value a later
-// call would return (the VFT caching on the request is write-only
+// call would return (the key caching on the request is write-only
 // observability, never read back before freezing). Additionally,
 // OnIssue for a request on channel c may only mutate state that feeds
 // Key for requests on the same channel c — the VTMS policies satisfy
@@ -183,11 +183,11 @@ type ShareSetter interface {
 // registers and bank state. The provisional value is cached on the
 // request purely for observability.
 func (b *vftBase) Key(r *Request, state BankState) int64 {
-	if r.VFTFrozen {
-		return int64(r.VFT)
+	if r.KeyFrozen {
+		return int64(r.Key)
 	}
 	vft := b.vtms[r.Thread].FinishTime(r.Arrival, r.GlobalBank, r.Channel, r.IsWrite, state)
-	r.VFT = vft
+	r.Key = vft
 	return int64(vft)
 }
 
@@ -197,9 +197,9 @@ func (b *vftBase) Key(r *Request, state BankState) int64 {
 // Equations 8-9 register updates.
 func (b *vftBase) OnIssue(r *Request, kind CmdKind) {
 	v := b.vtms[r.Thread]
-	if !r.VFTFrozen {
-		r.VFT = v.FinishTime(r.Arrival, r.GlobalBank, r.Channel, r.IsWrite, stateFromFirstCmd(kind))
-		r.VFTFrozen = true
+	if !r.KeyFrozen {
+		r.Key = v.FinishTime(r.Arrival, r.GlobalBank, r.Channel, r.IsWrite, stateFromFirstCmd(kind))
+		r.KeyFrozen = true
 	}
 	v.OnCommandIssue(kind, r.Arrival, r.GlobalBank, r.Channel, r.IsWrite)
 }
@@ -274,12 +274,12 @@ func (*FRVSTF) Name() string { return "FR-VSTF" }
 // Key implements Policy: the bank service virtual start-time
 // max{a, B_j.R} (Equation 3 in register form).
 func (p *FRVSTF) Key(r *Request, _ BankState) int64 {
-	if r.VFTFrozen {
-		return int64(r.VFT)
+	if r.KeyFrozen {
+		return int64(r.Key)
 	}
 	v := p.vtms[r.Thread]
 	st := maxVT(FromCycles(r.Arrival), v.BankR(r.GlobalBank))
-	r.VFT = st
+	r.Key = st
 	return int64(st)
 }
 
@@ -287,9 +287,9 @@ func (p *FRVSTF) Key(r *Request, _ BankState) int64 {
 // standard register updates.
 func (p *FRVSTF) OnIssue(r *Request, kind CmdKind) {
 	v := p.vtms[r.Thread]
-	if !r.VFTFrozen {
-		r.VFT = maxVT(FromCycles(r.Arrival), v.BankR(r.GlobalBank))
-		r.VFTFrozen = true
+	if !r.KeyFrozen {
+		r.Key = maxVT(FromCycles(r.Arrival), v.BankR(r.GlobalBank))
+		r.KeyFrozen = true
 	}
 	v.OnCommandIssue(kind, r.Arrival, r.GlobalBank, r.Channel, r.IsWrite)
 }

@@ -63,14 +63,14 @@ func TestVFTFreezeOnFirstCommand(t *testing.T) {
 	p := NewFRVFTF(twoShares(), 8, tt)
 	r := req(1, 0, 10, 3)
 	k1 := p.Key(r, BankClosed)
-	if r.VFTFrozen {
+	if r.KeyFrozen {
 		t.Fatal("key computation must not freeze the VFT")
 	}
 	p.OnIssue(r, CmdActivate)
-	if !r.VFTFrozen {
+	if !r.KeyFrozen {
 		t.Fatal("first command issue must freeze the VFT")
 	}
-	frozen := int64(r.VFT)
+	frozen := int64(r.Key)
 	if frozen != k1 {
 		t.Fatalf("frozen VFT %d != provisional closed-bank key %d", frozen, k1)
 	}
@@ -122,7 +122,7 @@ func TestFRVSTFKeyIsStartTime(t *testing.T) {
 		t.Error("start-time key depends on bank state")
 	}
 	p.OnIssue(r, CmdActivate)
-	if !r.VFTFrozen {
+	if !r.KeyFrozen {
 		t.Error("VSTF must freeze its key on first command")
 	}
 }

@@ -159,6 +159,18 @@ func (ch *Channel) LastActivate(bankIdx int) int64 {
 	return ch.banks[bankIdx].lastActivate
 }
 
+// BankTimestamps returns the bank's last command-issue cycles (large
+// negative values for commands never issued). The audit layer uses them
+// to cross-check its shadow bank state against the device.
+func (ch *Channel) BankTimestamps(bankIdx int) (lastActivate, lastRead, lastWrite, lastPrecharge int64) {
+	b := &ch.banks[bankIdx]
+	return b.lastActivate, b.lastRead, b.lastWrite, b.lastPrecharge
+}
+
+// DataBusFreeAt returns the first cycle the shared data bus is free (a
+// large negative value before any CAS); an audit cross-check accessor.
+func (ch *Channel) DataBusFreeAt() int64 { return ch.dataBusFreeAt }
+
 // rankOf returns the rank index of a flat bank index.
 func (ch *Channel) rankOf(bankIdx int) int { return bankIdx / ch.cfg.BanksPerRank }
 

@@ -27,6 +27,11 @@ type Config struct {
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS via
 	// unbounded goroutines; runs are independent and deterministic).
 	Parallel int
+
+	// Audit runs every simulation under the runtime invariant auditor
+	// (see internal/audit); results are identical, violations panic. The
+	// FQMS_AUDIT environment variable also enables it globally.
+	Audit bool
 }
 
 // DefaultConfig returns measurement windows long enough for stable
@@ -117,6 +122,7 @@ func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
 	r.mu.Unlock()
 
 	cfg.Seed = r.cfg.Seed
+	cfg.Audit = cfg.Audit || r.cfg.Audit
 	res, err := sim.Run(cfg, r.cfg.Warmup, r.cfg.Window)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("exp: run %s: %w", key, err)

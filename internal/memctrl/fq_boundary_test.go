@@ -1,0 +1,99 @@
+package memctrl
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// TestFQInversionBoundBoundary pins the Section 3.3 FQ bank-scheduler
+// boundary at exactly x cycles after an activate. Thread 0 (share 1/8,
+// so its virtual finish-times grow eight cycles per service cycle)
+// streams 13 row hits at bank 0; thread 1 (share 7/8) files one
+// conflicting request whose key is far smaller from the moment it
+// arrives. While the bank has been open for strictly less than x
+// cycles, first-ready scheduling lets the hits bypass the smaller-key
+// conflict (priority inversion); from cycle x on, the bank must switch
+// to smallest-key selection and wait for the conflict's precharge.
+//
+// Row hits issue at cycles 5, 9, 13, 17, ... — tRCD for the first, then
+// the data bus (BL2 = 4, tighter than tCCD here) paces the rest — so
+// the number of reads issued before the first precharge measures the
+// flip cycle exactly. x = 0 is the ablation where FQ-VFTF degenerates
+// to strict smallest-key selection as soon as the bank opens: the very
+// first request's own column access is blocked for the whole tRAS wait.
+//
+// For x beyond tRAS the read count stops growing: first-ready order
+// prefers a ready command over an unready one, so the conflict's
+// precharge slips into the data-bus gap between hits (at cycle 20, once
+// tRTP from the last read passes) no matter how large x is — the
+// readiness level naturally bounds chaining on bus-limited streams, and
+// x only matters while the hit stream keeps a command ready.
+func TestFQInversionBoundBoundary(t *testing.T) {
+	cases := []struct {
+		x          int64
+		wantReads  int64 // reads issued before the conflict's precharge
+		wantMaxInv int64 // largest legal bypass age observed by the audit
+		wantPreAt  int64 // cycle the conflict's precharge issues
+	}{
+		{x: 0, wantReads: 0, wantMaxInv: 0, wantPreAt: 18},
+		{x: 6, wantReads: 1, wantMaxInv: 5, wantPreAt: 18},
+		{x: 10, wantReads: 2, wantMaxInv: 9, wantPreAt: 18},
+		{x: 18, wantReads: 4, wantMaxInv: 17, wantPreAt: 20}, // the paper's x = tRAS
+		{x: 40, wantReads: 4, wantMaxInv: 17, wantPreAt: 20},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("x=%d", tc.x), func(t *testing.T) {
+			shares := []core.Share{{Num: 1, Den: 8}, {Num: 7, Den: 8}}
+			cfg := linearConfig(t, 2)
+			cfg.Audit = true
+			pol := core.NewFQVFTFBound(shares, cfg.TotalBanks(), cfg.DRAM.Timing, tc.x)
+			c, err := New(cfg, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 13 reads to bank 0 row 5: one head request plus 12 hits.
+			for col := 0; col < 13; col++ {
+				if !c.Accept(0, addr(0, 5, col), false, 0) {
+					t.Fatal("accept failed")
+				}
+			}
+			c.Tick(0) // activate for the head request opens row 5
+			if c.CommandCount(dram.KindActivate) != 1 {
+				t.Fatal("no activate at cycle 0")
+			}
+			// The small-key conflict request arrives just after the row
+			// opened.
+			if !c.Accept(1, addr(0, 9, 0), false, 1) {
+				t.Fatal("accept failed")
+			}
+			readsAtPre, preAt := int64(-1), int64(-1)
+			for now := int64(1); now < 2_000; now++ {
+				c.Tick(now)
+				if readsAtPre < 0 && c.CommandCount(dram.KindPrecharge) > 0 {
+					readsAtPre = c.CommandCount(dram.KindRead)
+					preAt = now
+				}
+			}
+			if readsAtPre != tc.wantReads {
+				t.Errorf("reads before the conflict precharge = %d, want %d", readsAtPre, tc.wantReads)
+			}
+			if preAt != tc.wantPreAt {
+				t.Errorf("conflict precharge at cycle %d, want %d", preAt, tc.wantPreAt)
+			}
+			aud := c.Auditor()
+			if aud == nil || aud.Commands() == 0 {
+				t.Fatal("auditor not engaged")
+			}
+			if got := aud.MaxInversionWindow(); got != tc.wantMaxInv {
+				t.Errorf("max inversion window = %d, want %d", got, tc.wantMaxInv)
+			}
+			if tc.x > 0 && aud.MaxInversionWindow() >= tc.x {
+				t.Errorf("inversion window %d reached the bound %d", aud.MaxInversionWindow(), tc.x)
+			}
+		})
+	}
+}

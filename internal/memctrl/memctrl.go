@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/addrmap"
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/stats"
@@ -78,6 +79,16 @@ type Config struct {
 	// DisableRefresh turns off periodic refresh (useful in unit tests
 	// that need exact cycle counts).
 	DisableRefresh bool
+
+	// Audit attaches the runtime invariant auditor (package audit): every
+	// issued SDRAM command and completed request is re-validated against
+	// independently recomputed DDR2 timing, conservation, VTMS, and FQ
+	// bank-scheduling invariants. A violation panics with the recent
+	// command history. Simulation results are identical with or without.
+	Audit bool
+
+	// AuditConfig tunes the auditor's thresholds when Audit is set.
+	AuditConfig audit.Config
 }
 
 // DefaultConfig returns the paper's Table 5 controller configuration for
@@ -227,6 +238,9 @@ type Controller struct {
 	eventDriven bool
 	bankWake    []int64
 	nextEvent   int64
+
+	// aud is the optional runtime invariant auditor (nil when off).
+	aud *audit.Auditor
 }
 
 // Forever is the "no event scheduled" sentinel for wake times.
@@ -291,7 +305,45 @@ func New(cfg Config, policy core.Policy) (*Controller, error) {
 			c.nextRefreshAt[i] = 1 << 60
 		}
 	}
+	if cfg.Audit {
+		c.aud = audit.New(cfg.AuditConfig, audit.Target{
+			Timing:          cfg.DRAM.Timing,
+			Channels:        nch,
+			Ranks:           cfg.DRAM.Ranks,
+			BanksPerRank:    cfg.DRAM.BanksPerRank,
+			Threads:         cfg.Threads,
+			ReadEntries:     cfg.ReadEntriesPerThread,
+			WriteEntries:    cfg.WriteEntriesPerThread,
+			SharedBuffers:   cfg.SharedBuffers,
+			RefreshDisabled: cfg.DisableRefresh,
+			Policy:          policy,
+			Chans:           chans,
+			Totals: func(t int) audit.Totals {
+				st := &c.stats[t]
+				return audit.Totals{
+					ReadsAccepted:  st.ReadsAccepted,
+					ReadsDone:      st.ReadsDone,
+					WritesAccepted: st.WritesAccepted,
+					WritesDone:     st.WritesDone,
+					ReadOcc:        c.readOcc[t],
+					WriteOcc:       c.writeOcc[t],
+				}
+			},
+		})
+	}
 	return c, nil
+}
+
+// Auditor returns the runtime invariant auditor, or nil when auditing is
+// off.
+func (c *Controller) Auditor() *audit.Auditor { return c.aud }
+
+// FinishAudit runs the auditor's end-of-run conservation and starvation
+// checks (a no-op without Config.Audit).
+func (c *Controller) FinishAudit(now int64) {
+	if c.aud != nil {
+		c.aud.Finish(now)
+	}
 }
 
 // Policy returns the active scheduling policy.
@@ -455,6 +507,9 @@ func (c *Controller) Accept(thread int, lineAddr uint64, isWrite bool, now int64
 	if c.nextEvent > now {
 		c.nextEvent = now
 	}
+	if c.aud != nil {
+		c.aud.OnAccept(req, now)
+	}
 	return true
 }
 
@@ -539,6 +594,9 @@ func (c *Controller) Tick(now int64) {
 			if c.OnReadDone != nil {
 				c.OnReadDone(f.req, now)
 			}
+			if c.aud != nil {
+				c.aud.OnReadDone(f.req, f.doneAt, now)
+			}
 		}
 		if head == len(q) {
 			// Fully drained: reset in place so long runs reuse the
@@ -561,6 +619,10 @@ func (c *Controller) Tick(now int64) {
 		c.vclock++
 	}
 
+	if c.aud != nil {
+		c.aud.OnTick(now)
+	}
+
 	// 3. Per channel: refresh management and command scheduling.
 	for chIdx, ch := range c.chans {
 		if now >= c.nextRefreshAt[chIdx] && !c.refreshWanted[chIdx] {
@@ -572,6 +634,9 @@ func (c *Controller) Tick(now int64) {
 		}
 		inRefresh := ch.InRefresh(now)
 		if c.refreshWanted[chIdx] && !inRefresh && ch.AllBanksClosed() && ch.Ready(dram.KindRefresh, 0, now) {
+			if c.aud != nil {
+				c.aud.OnRefresh(chIdx, now)
+			}
 			ch.Issue(dram.KindRefresh, 0, 0, now)
 			c.cmdCount[dram.KindRefresh]++
 			c.refreshWanted[chIdx] = false
@@ -822,6 +887,11 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 func (c *Controller) issue(cand *candidate, now int64) {
 	c.cmdCount[cand.kind]++
 	ch, lb := c.chanOf(cand.bank)
+	var acmd audit.Cmd
+	if c.aud != nil {
+		acmd = audit.Cmd{Kind: cand.kind, FlatBank: cand.bank, Row: cand.row, Key: cand.key, Req: cand.req}
+		c.aud.BeforeIssue(acmd, now)
+	}
 	// Issuing any command moves the channel-global constraints (tCCD,
 	// tWTR, data-bus occupancy), and issuing a request command rewrites
 	// the policy's same-channel keys (see the core.Policy contract), so
@@ -831,6 +901,9 @@ func (c *Controller) issue(cand *candidate, now int64) {
 		// Idle-close precharge: device state only; no request, and no
 		// VTMS charge (no thread is waiting on it).
 		ch.Issue(dram.KindPrecharge, lb, 0, now)
+		if c.aud != nil {
+			c.aud.AfterIssue(acmd, now)
+		}
 		return
 	}
 	r := cand.req
@@ -860,6 +933,9 @@ func (c *Controller) issue(cand *candidate, now int64) {
 			c.writeOcc[r.Thread]--
 			c.writeOccTotal--
 		}
+	}
+	if c.aud != nil {
+		c.aud.AfterIssue(acmd, now)
 	}
 }
 

@@ -129,3 +129,147 @@ func TestEquivalenceWithSharesAndRefresh(t *testing.T) {
 		}
 	}
 }
+
+// TestEquivalenceSetShareInsideRefresh reassigns shares at a cycle where
+// a refresh is actually in progress — the virtual clock is paused and
+// the fast path's next-event estimate was computed under the old keys —
+// and demands the skip-ahead path still match the strict oracle bit for
+// bit. tREF is shrunk to 7k cycles so the run crosses dozens of refresh
+// windows, and both runs carry the invariant auditor. The SetShare
+// cycles themselves are part of the fingerprint: each run hunts for its
+// own refresh window, so agreement there proves the histories were
+// identical up to the reassignment too.
+func TestEquivalenceSetShareInsideRefresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow")
+	}
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(strict bool) (Result, controllerFingerprint, [2]int64) {
+		cfg := Config{
+			Workload: []trace.Profile{art, vpr},
+			Policy:   FQVFTF,
+			Seed:     17,
+			Strict:   strict,
+			Audit:    true,
+		}
+		cfg.Mem.DRAM = dram.DefaultConfig()
+		cfg.Mem.DRAM.Timing.TREF = 7_000
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepIntoRefresh := func() int64 {
+			for i := 0; i < 30_000; i++ {
+				s.Step(1)
+				if s.Controller().Channel().InRefresh(s.Cycle()) {
+					return s.Cycle()
+				}
+			}
+			t.Fatal("no refresh window reached")
+			return 0
+		}
+		var shareAt [2]int64
+		s.Step(10_000)
+		shareAt[0] = stepIntoRefresh()
+		s.SetShare(0, core.Share{Num: 3, Den: 4})
+		s.SetShare(1, core.Share{Num: 1, Den: 4})
+		s.BeginMeasurement()
+		s.Step(40_000)
+		shareAt[1] = stepIntoRefresh()
+		s.SetShare(0, core.Share{Num: 1, Den: 4})
+		s.SetShare(1, core.Share{Num: 3, Den: 4})
+		s.Step(40_000)
+		s.FinishAudit()
+		ctrl := s.Controller()
+		fp := controllerFingerprint{VClock: ctrl.VClock()}
+		for k := dram.KindActivate; k <= dram.KindRefresh; k++ {
+			fp.Commands[k] = ctrl.CommandCount(k)
+		}
+		return s.Results(), fp, shareAt
+	}
+	fast, fastFP, fastAt := run(false)
+	strict, strictFP, strictAt := run(true)
+	if fastAt != strictAt {
+		t.Errorf("SetShare cycles diverge: fast %v strict %v", fastAt, strictAt)
+	}
+	if !reflect.DeepEqual(fast, strict) {
+		t.Errorf("Result diverges:\n fast:   %+v\n strict: %+v", fast, strict)
+	}
+	if fastFP != strictFP {
+		t.Errorf("controller state diverges:\n fast:   %+v\n strict: %+v", fastFP, strictFP)
+	}
+	if fastFP.Commands[dram.KindRefresh] < 10 {
+		t.Errorf("run crossed only %d refresh windows, want many", fastFP.Commands[dram.KindRefresh])
+	}
+}
+
+// TestEquivalenceMultiChannelBankWake targets the event-driven path's
+// multi-channel approximation: bank wake times are tracked per flat
+// bank, but the virtual clock only pauses for channel 0's refresh, so
+// wake estimates on the other channels are conservative lower bounds.
+// At 2 and 4 channels, through many short refresh windows and a mid-run
+// share reassignment, the skip-ahead path must still reproduce the
+// strict oracle exactly — the approximation may cost wake-ups, never
+// correctness. Both runs carry the invariant auditor.
+func TestEquivalenceMultiChannelBankWake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow")
+	}
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, channels := range []int{2, 4} {
+		channels := channels
+		run := func(strict bool) (Result, controllerFingerprint) {
+			cfg := Config{
+				Workload: []trace.Profile{art, vpr},
+				Policy:   FQVFTF,
+				Seed:     19,
+				Strict:   strict,
+				Audit:    true,
+			}
+			cfg.Mem.Channels = channels
+			cfg.Mem.DRAM = dram.DefaultConfig()
+			cfg.Mem.DRAM.Timing.TREF = 7_000
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Step(30_000)
+			s.SetShare(0, core.Share{Num: 3, Den: 4})
+			s.SetShare(1, core.Share{Num: 1, Den: 4})
+			s.BeginMeasurement()
+			s.Step(100_000)
+			s.FinishAudit()
+			ctrl := s.Controller()
+			fp := controllerFingerprint{VClock: ctrl.VClock()}
+			for k := dram.KindActivate; k <= dram.KindRefresh; k++ {
+				fp.Commands[k] = ctrl.CommandCount(k)
+			}
+			return s.Results(), fp
+		}
+		fast, fastFP := run(false)
+		strict, strictFP := run(true)
+		if !reflect.DeepEqual(fast, strict) {
+			t.Errorf("channels=%d: Result diverges:\n fast:   %+v\n strict: %+v", channels, fast, strict)
+		}
+		if fastFP != strictFP {
+			t.Errorf("channels=%d: controller state diverges:\n fast:   %+v\n strict: %+v", channels, fastFP, strictFP)
+		}
+		if fastFP.Commands[dram.KindRefresh] == 0 {
+			t.Errorf("channels=%d: run crossed no refresh window", channels)
+		}
+	}
+}

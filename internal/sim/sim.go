@@ -94,6 +94,15 @@ type Config struct {
 	// as a cross-check oracle and a debugging aid. The FQMS_STRICT
 	// environment variable (any non-empty value) forces it globally.
 	Strict bool
+
+	// Audit attaches the runtime invariant auditor (package audit) to the
+	// memory controller; every issued SDRAM command and completed request
+	// is re-validated against independently recomputed timing,
+	// conservation, VTMS, and FQ bank-scheduling invariants, and any
+	// violation panics with the recent command history. Results are
+	// identical with or without. The FQMS_AUDIT environment variable (any
+	// non-empty value) forces it globally.
+	Audit bool
 }
 
 // withDefaults fills zero-valued fields with Table 5 defaults.
@@ -165,6 +174,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if os.Getenv("FQMS_STRICT") != "" {
 		c.Strict = true
+	}
+	if os.Getenv("FQMS_AUDIT") != "" {
+		c.Audit = true
+	}
+	if c.Audit {
+		c.Mem.Audit = true
 	}
 	return c, nil
 }
@@ -240,6 +255,12 @@ func New(cfg Config) (*System, error) {
 
 // Controller exposes the memory controller (for statistics and tests).
 func (s *System) Controller() *memctrl.Controller { return s.ctrl }
+
+// FinishAudit runs the auditor's end-of-run conservation and starvation
+// checks (a no-op unless auditing is enabled). Run calls it after the
+// measurement window; long-lived callers of Step should call it once at
+// the end of the simulation.
+func (s *System) FinishAudit() { s.ctrl.FinishAudit(s.cycle) }
 
 // Core returns core i.
 func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
@@ -527,5 +548,6 @@ func Run(cfg Config, warmup, window int64) (Result, error) {
 	s.Step(warmup)
 	s.BeginMeasurement()
 	s.Step(window)
+	s.FinishAudit()
 	return s.Results(), nil
 }
