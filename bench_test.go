@@ -1,6 +1,7 @@
 package fqms
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/addrmap"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/exp"
 	"repro/internal/memctrl"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -338,6 +340,52 @@ func BenchmarkSimThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(s.Cycle())/elapsed/1e6, "Msimcycles/s")
 			b.ReportMetric(float64(reqs)/elapsed/1e3, "kreqs/s")
+		})
+	}
+}
+
+// BenchmarkSimThroughputMetrics reruns the perf-trajectory
+// configurations with the observability layer fully enabled (metrics
+// registry plus a Chrome trace streamed to a discarding writer), so the
+// instrumentation overhead can be read directly against
+// BenchmarkSimThroughput (the budget is <5%).
+func BenchmarkSimThroughputMetrics(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		benches []string
+	}{
+		{"light-4xcrafty", []string{"crafty", "crafty", "crafty", "crafty"}},
+		{"mixed", trace.FourCoreWorkloads()[0]},
+		{"heavy-4xart", []string{"art", "art", "art", "art"}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			profiles := make([]trace.Profile, len(v.benches))
+			for i, n := range v.benches {
+				profiles[i], _ = trace.ByName(n)
+			}
+			tw := metrics.NewTraceWriter(io.Discard)
+			s, err := sim.New(sim.Config{
+				Workload: profiles,
+				Policy:   sim.FQVFTF,
+				Metrics:  metrics.New(),
+				Trace:    tw,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step(10_000)
+			}
+			elapsed := b.Elapsed().Seconds()
+			if elapsed == 0 {
+				elapsed = 1e-9
+			}
+			b.StopTimer()
+			if err := tw.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(s.Cycle())/elapsed/1e6, "Msimcycles/s")
 		})
 	}
 }

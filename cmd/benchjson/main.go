@@ -6,21 +6,26 @@
 //
 // Usage:
 //
-//	benchjson [-warmup N] [-cycles N] [-strict] [-seed N]
+//	benchjson [-warmup N] [-cycles N] [-strict] [-metrics] [-seed N]
 //
 // With -strict each configuration is additionally run with the
 // event-driven fast path disabled (the per-cycle oracle), and the
-// report includes the fast/strict speedup ratio.
+// report includes the fast/strict speedup ratio. With -metrics each
+// configuration is additionally run with the observability layer
+// (metrics registry) enabled, and the report includes the
+// metrics-enabled overhead ratio (the budget is <5%).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -31,6 +36,7 @@ type run struct {
 	Workload        []string `json:"workload"`
 	Policy          string   `json:"policy"`
 	Strict          bool     `json:"strict"`
+	Metrics         bool     `json:"metrics,omitempty"`
 	SimulatedCycles int64    `json:"simulated_cycles"`
 	RequestsDone    int64    `json:"requests_done"`
 	WallSeconds     float64  `json:"wall_seconds"`
@@ -50,13 +56,15 @@ type report struct {
 	Seed      uint64  `json:"seed"`
 	Runs      []run   `json:"runs"`
 	Speedups  []ratio `json:"speedups,omitempty"`
+	Overheads []ratio `json:"metrics_overheads,omitempty"`
 }
 
-// ratio records the event-driven speedup over the strict oracle for one
-// configuration (present only with -strict).
+// ratio records a throughput ratio between two runs of one
+// configuration: the event-driven speedup over the strict oracle
+// (-strict), or the plain-over-instrumented metrics overhead (-metrics).
 type ratio struct {
 	Name    string  `json:"name"`
-	Speedup float64 `json:"fast_over_strict"`
+	Speedup float64 `json:"ratio"`
 }
 
 // configs mirrors BenchmarkSimThroughput: workload intensities spanning
@@ -70,7 +78,7 @@ var configs = []struct {
 	{"heavy-4xart", []string{"art", "art", "art", "art"}},
 }
 
-func measure(benches []string, warmup, cycles int64, seed uint64, strict bool) (run, error) {
+func measure(benches []string, warmup, cycles int64, seed uint64, strict, instrumented bool) (run, error) {
 	profiles := make([]trace.Profile, len(benches))
 	for i, n := range benches {
 		p, err := trace.ByName(n)
@@ -79,12 +87,21 @@ func measure(benches []string, warmup, cycles int64, seed uint64, strict bool) (
 		}
 		profiles[i] = p
 	}
-	s, err := sim.New(sim.Config{
+	cfg := sim.Config{
 		Workload: profiles,
 		Policy:   sim.FQVFTF,
 		Seed:     seed,
 		Strict:   strict,
-	})
+	}
+	var tw *metrics.TraceWriter
+	if instrumented {
+		// Metrics plus a trace streamed to a discarding writer: the
+		// worst-case fully-instrumented configuration.
+		cfg.Metrics = metrics.New()
+		tw = metrics.NewTraceWriter(io.Discard)
+		cfg.Trace = tw
+	}
+	s, err := sim.New(cfg)
 	if err != nil {
 		return run{}, err
 	}
@@ -105,10 +122,16 @@ func measure(benches []string, warmup, cycles int64, seed uint64, strict bool) (
 		elapsed = 1e-9
 	}
 	reqs := countReqs() - base
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return run{}, err
+		}
+	}
 	return run{
 		Workload:        benches,
 		Policy:          "FQ-VFTF",
 		Strict:          strict,
+		Metrics:         instrumented,
 		SimulatedCycles: cycles,
 		RequestsDone:    reqs,
 		WallSeconds:     elapsed,
@@ -121,8 +144,9 @@ func main() {
 	var (
 		warmup = flag.Int64("warmup", 50_000, "unmeasured warmup cycles per configuration")
 		cycles = flag.Int64("cycles", 2_000_000, "measured simulated cycles per configuration")
-		seed   = flag.Uint64("seed", 0, "trace generator seed")
-		strict = flag.Bool("strict", false, "also measure the per-cycle oracle and report speedups")
+		seed    = flag.Uint64("seed", 0, "trace generator seed")
+		strict  = flag.Bool("strict", false, "also measure the per-cycle oracle and report speedups")
+		withMet = flag.Bool("metrics", false, "also measure with metrics+trace enabled and report overheads")
 	)
 	flag.Parse()
 
@@ -142,7 +166,7 @@ func main() {
 		if benches == nil {
 			benches = trace.FourCoreWorkloads()[0]
 		}
-		fast, err := measure(benches, *warmup, *cycles, *seed, false)
+		fast, err := measure(benches, *warmup, *cycles, *seed, false, false)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -150,7 +174,7 @@ func main() {
 		fast.Name = c.name
 		rep.Runs = append(rep.Runs, fast)
 		if *strict {
-			slow, err := measure(benches, *warmup, *cycles, *seed, true)
+			slow, err := measure(benches, *warmup, *cycles, *seed, true, false)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(1)
@@ -160,6 +184,19 @@ func main() {
 			rep.Speedups = append(rep.Speedups, ratio{
 				Name:    c.name,
 				Speedup: fast.MSimCyclesPerS / slow.MSimCyclesPerS,
+			})
+		}
+		if *withMet {
+			inst, err := measure(benches, *warmup, *cycles, *seed, false, true)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			inst.Name = c.name + "-metrics"
+			rep.Runs = append(rep.Runs, inst)
+			rep.Overheads = append(rep.Overheads, ratio{
+				Name:    c.name,
+				Speedup: fast.MSimCyclesPerS / inst.MSimCyclesPerS,
 			})
 		}
 	}

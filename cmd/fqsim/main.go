@@ -6,6 +6,13 @@
 //
 //	fqsim -workload art,vpr -policy FQ-VFTF [-shares 3/4,1/4]
 //	      [-warmup N] [-window N] [-scale K] [-seed N] [-list]
+//	      [-trace out.json] [-metrics out.json]
+//
+// -trace streams a Chrome trace-event timeline (open in about://tracing
+// or Perfetto) of every SDRAM command and request lifetime; -metrics
+// dumps the full metrics registry (counters, gauges, latency histograms
+// with p50/p95/p99) as JSON. Both are purely observational: simulation
+// results are bit-identical with or without them.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -34,6 +42,8 @@ func main() {
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
 		asJSON   = flag.Bool("json", false, "emit results as JSON")
 		auditOn  = flag.Bool("audit", false, "run the invariant auditor (panic on any violation)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event timeline to this file")
+		metaOut  = flag.String("metrics", "", "write a JSON metrics dump to this file")
 	)
 	flag.Parse()
 
@@ -85,9 +95,51 @@ func main() {
 		}
 	}
 
+	var reg *metrics.Registry
+	if *metaOut != "" {
+		reg = metrics.New()
+		cfg.Metrics = reg
+	}
+	var tw *metrics.TraceWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tw = metrics.NewTraceWriter(f)
+		if reg == nil {
+			// The trace's request lifetimes are most useful alongside the
+			// histograms, and the controller hooks are registered once at
+			// construction; keep a registry even if it is never dumped.
+			reg = metrics.New()
+			cfg.Metrics = reg
+		}
+		cfg.Trace = tw
+	}
+
 	res, err := sim.Run(cfg, *warmup, *window)
 	if err != nil {
 		fail(err)
+	}
+
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fail(fmt.Errorf("trace: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "fqsim: wrote %d trace events to %s\n", tw.Events(), *traceOut)
+	}
+	if *metaOut != "" {
+		f, err := os.Create(*metaOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fail(fmt.Errorf("metrics: %w", err))
+		}
 	}
 
 	if *asJSON {
@@ -100,10 +152,10 @@ func main() {
 	}
 
 	fmt.Printf("policy %s, %d cores, %d measured cycles\n", res.PolicyName, len(res.Threads), res.Cycles)
-	fmt.Printf("%-10s %8s %8s %10s %10s %10s %8s\n", "thread", "IPC", "busUtil", "readLat", "latP95", "reads", "rowHit")
+	fmt.Printf("%-10s %8s %8s %10s %10s %10s %10s %8s\n", "thread", "IPC", "busUtil", "readLat", "latP95", "latP99", "reads", "rowHit")
 	for _, t := range res.Threads {
-		fmt.Printf("%-10s %8.3f %8.3f %10.0f %10.0f %10d %8.2f\n",
-			t.Benchmark, t.IPC, t.BusUtil, t.AvgReadLatency, t.ReadLatP95, t.ReadsDone, t.RowHitRate)
+		fmt.Printf("%-10s %8.3f %8.3f %10.0f %10.0f %10.0f %10d %8.2f\n",
+			t.Benchmark, t.IPC, t.BusUtil, t.AvgReadLatency, t.ReadLatP95, t.ReadLatP99, t.ReadsDone, t.RowHitRate)
 	}
 	fmt.Printf("aggregate: data bus utilization %.3f, bank utilization %.3f\n",
 		res.DataBusUtil, res.BankUtil)

@@ -1,6 +1,7 @@
 package addrmap
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -132,6 +133,89 @@ func TestMapperNames(t *testing.T) {
 	}
 	if lin.Banks() != 8 || xor.Banks() != 8 {
 		t.Errorf("banks = %d, %d, want 8", lin.Banks(), xor.Banks())
+	}
+}
+
+// TestMapperBijectivity exhaustively decodes a small geometry's full
+// address space for every mapping mode at 1, 2, and 4 channels and
+// asserts the map is a bijection: every (channel, rank, bank, row, col)
+// coordinate is produced by exactly one line address. A mapper that
+// aliased two addresses onto one DRAM location (or left holes) would
+// silently corrupt every experiment built on it.
+func TestMapperBijectivity(t *testing.T) {
+	for _, channels := range []int{1, 2, 4} {
+		g := Geometry{
+			Channels:     channels,
+			Ranks:        2,
+			BanksPerRank: 4,
+			RowsPerBank:  16,
+			ColsPerRow:   8,
+		}
+		for _, mode := range []struct {
+			name string
+			make func(Geometry) (Mapper, error)
+		}{
+			{"linear", func(g Geometry) (Mapper, error) { return NewLinear(g) }},
+			{"xor", func(g Geometry) (Mapper, error) { return NewXOR(g) }},
+		} {
+			t.Run(fmt.Sprintf("%s/ch%d", mode.name, channels), func(t *testing.T) {
+				m, err := mode.make(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lines := g.Lines()
+				index := func(c Coord) uint64 {
+					// Flatten with explicit bounds checking so an
+					// out-of-range coordinate fails loudly rather than
+					// aliasing into a neighbor's slot.
+					if c.Channel < 0 || c.Channel >= channels ||
+						c.Rank < 0 || c.Rank >= g.Ranks ||
+						c.Bank < 0 || c.Bank >= g.BanksPerRank ||
+						c.Row < 0 || c.Row >= g.RowsPerBank ||
+						c.Col < 0 || c.Col >= g.ColsPerRow {
+						t.Fatalf("coordinate out of bounds: %+v", c)
+					}
+					i := uint64(c.Channel)
+					i = i*uint64(g.Ranks) + uint64(c.Rank)
+					i = i*uint64(g.BanksPerRank) + uint64(c.Bank)
+					i = i*uint64(g.RowsPerBank) + uint64(c.Row)
+					i = i*uint64(g.ColsPerRow) + uint64(c.Col)
+					return i
+				}
+				hitBy := make(map[uint64]uint64, lines)
+				for a := uint64(0); a < lines; a++ {
+					c := m.Decode(a)
+					i := index(c)
+					if prev, dup := hitBy[i]; dup {
+						t.Fatalf("addresses %d and %d both decode to %+v", prev, a, c)
+					}
+					hitBy[i] = a
+				}
+				// Injective over a domain the same size as the codomain
+				// implies surjective; double-check the count anyway.
+				if uint64(len(hitBy)) != lines {
+					t.Fatalf("decoded %d distinct coordinates, want %d", len(hitBy), lines)
+				}
+			})
+		}
+	}
+}
+
+// TestLinearEncodeInverseAllChannels pins Encode as the exact inverse of
+// Linear.Decode across the full small-geometry address space at every
+// channel count (the quick.Check round trip above only samples).
+func TestLinearEncodeInverseAllChannels(t *testing.T) {
+	for _, channels := range []int{1, 2, 4} {
+		g := Geometry{Channels: channels, Ranks: 2, BanksPerRank: 4, RowsPerBank: 16, ColsPerRow: 8}
+		m, err := NewLinear(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := uint64(0); a < g.Lines(); a++ {
+			if got := m.Encode(m.Decode(a)); got != a {
+				t.Fatalf("ch%d: Encode(Decode(%d)) = %d", channels, a, got)
+			}
+		}
 	}
 }
 

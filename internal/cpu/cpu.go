@@ -100,6 +100,11 @@ type Core struct {
 	Retired int64
 	// LoadsRetired and StoresRetired break down commits.
 	LoadsRetired, StoresRetired int64
+	// StallCycles counts cycles on which the ROB held instructions but
+	// none retired (the classic ROB-stall / commit-stall measure). The
+	// event-driven fast path credits skipped spans via CreditStall, so
+	// the count is identical in fast and strict modes.
+	StallCycles int64
 }
 
 // New returns a core running the given instruction source (a synthetic
@@ -189,10 +194,25 @@ func (c *Core) attachWaiter(producer, waiter int32) {
 // Tick advances the core one cycle: retire, drain stores, issue loads,
 // dispatch.
 func (c *Core) Tick(now int64) {
+	stalled := c.count > 0
+	r0 := c.Retired
 	c.retire(now)
+	if stalled && c.Retired == r0 {
+		c.StallCycles++
+	}
 	c.drainStores()
 	c.issueLoads(now)
 	c.dispatch(now)
+}
+
+// CreditStall accounts n skipped cycles as ROB stalls when the ROB is
+// non-empty. The event-driven system simulator calls it for the span it
+// skips past a core: a skipped cycle is by construction one on which
+// Tick would have made no progress, so a non-empty ROB retires nothing.
+func (c *Core) CreditStall(n int64) {
+	if c.count > 0 {
+		c.StallCycles += n
+	}
 }
 
 func (c *Core) retire(now int64) {

@@ -93,6 +93,10 @@ type bank struct {
 	// precharging (activate issue through precharge completion), the
 	// paper's Figure 7 "bank utilization" numerator.
 	busyCycles int64
+
+	// Per-bank command counts for the observability layer (metrics
+	// registry snapshots read them; the simulation never does).
+	activates, precharges, reads, writes int64
 }
 
 // Channel is a cycle-accurate model of a single DDR2 channel: all banks,
@@ -243,12 +247,14 @@ func (ch *Channel) Issue(kind Kind, bankIdx, row int, now int64) int64 {
 		b.open = true
 		b.row = row
 		b.lastActivate = now
+		b.activates++
 		ch.rankLastActivate[ch.rankOf(bankIdx)] = now
 	case KindRead:
 		if !b.open || b.row != row {
 			panic(fmt.Sprintf("dram: read bank %d row %d, open=%v row=%d", bankIdx, row, b.open, b.row))
 		}
 		b.lastRead = now
+		b.reads++
 		ch.lastCAS = now
 		end := now + int64(t.TCL) + int64(t.BL2)
 		ch.dataBusFreeAt = end
@@ -259,6 +265,7 @@ func (ch *Channel) Issue(kind Kind, bankIdx, row int, now int64) int64 {
 			panic(fmt.Sprintf("dram: write bank %d row %d, open=%v row=%d", bankIdx, row, b.open, b.row))
 		}
 		b.lastWrite = now
+		b.writes++
 		ch.lastCAS = now
 		end := now + int64(t.TWL) + int64(t.BL2)
 		b.writeDataEnd = end
@@ -272,6 +279,7 @@ func (ch *Channel) Issue(kind Kind, bankIdx, row int, now int64) int64 {
 		}
 		b.open = false
 		b.lastPrecharge = now
+		b.precharges++
 		// The bank was busy from its activate until the precharge
 		// completes tRP cycles from now.
 		b.busyCycles += now + int64(t.TRP) - b.lastActivate
@@ -314,6 +322,14 @@ func (ch *Channel) Refreshes() int64 { return ch.refreshedCount }
 // DataBusBusyCycles returns the cumulative data bus occupancy, the
 // numerator of the paper's data bus utilization metric.
 func (ch *Channel) DataBusBusyCycles() int64 { return ch.dataBusBusy }
+
+// BankCommandCounts returns the cumulative per-bank command counts
+// (activate, precharge, read, write). The observability layer exports
+// them; they never feed back into scheduling.
+func (ch *Channel) BankCommandCounts(bankIdx int) (act, pre, rd, wr int64) {
+	b := &ch.banks[bankIdx]
+	return b.activates, b.precharges, b.reads, b.writes
+}
 
 // BankBusyCycles returns the cumulative busy cycles summed over all
 // banks as of cycle now; banks still open contribute their open time so

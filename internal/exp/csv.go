@@ -37,9 +37,15 @@ func (fig Figure1Result) WriteCSV(w io.Writer) error {
 func (fig Figure4Result) WriteCSV(w io.Writer) error {
 	rows := make([][]string, 0, len(fig.Rows))
 	for _, r := range fig.Rows {
-		rows = append(rows, []string{r.Benchmark, f(r.BusUtil), f(r.IPC), f(r.ReadLat)})
+		rows = append(rows, []string{
+			r.Benchmark, f(r.BusUtil), f(r.IPC), f(r.ReadLat),
+			f(r.ReadLatP50), f(r.ReadLatP95), f(r.ReadLatP99),
+		})
 	}
-	return writeCSV(w, []string{"benchmark", "bus_util", "ipc", "read_latency"}, rows)
+	return writeCSV(w, []string{
+		"benchmark", "bus_util", "ipc", "read_latency",
+		"read_latency_p50", "read_latency_p95", "read_latency_p99",
+	}, rows)
 }
 
 // WriteCSV emits the Figure 5/6/7 rows (one per subject x policy).
@@ -47,12 +53,14 @@ func (t TwoCoreResult) WriteCSV(w io.Writer) error {
 	rows := make([][]string, 0, len(t.Rows))
 	for _, r := range t.Rows {
 		rows = append(rows, []string{
-			r.Subject, r.Policy, f(r.NormIPC), f(r.ReadLat), f(r.BusUtil),
+			r.Subject, r.Policy, f(r.NormIPC), f(r.ReadLat),
+			f(r.ReadLatP50), f(r.ReadLatP95), f(r.ReadLatP99), f(r.BusUtil),
 			f(r.BgNormIPC), f(r.HMNormIPC), f(r.AggBusUtil), f(r.AggBankUtil),
 		})
 	}
 	return writeCSV(w, []string{
-		"subject", "policy", "norm_ipc", "read_latency", "bus_util",
+		"subject", "policy", "norm_ipc", "read_latency",
+		"read_latency_p50", "read_latency_p95", "read_latency_p99", "bus_util",
 		"bg_norm_ipc", "hm_norm_ipc", "agg_bus_util", "agg_bank_util",
 	}, rows)
 }

@@ -68,10 +68,13 @@ func (f Figure1Result) Render(w io.Writer) {
 
 // Figure4Row is one benchmark's solo behavior on the physical system.
 type Figure4Row struct {
-	Benchmark string
-	BusUtil   float64
-	IPC       float64
-	ReadLat   float64
+	Benchmark  string
+	BusUtil    float64
+	IPC        float64
+	ReadLat    float64
+	ReadLatP50 float64
+	ReadLatP95 float64
+	ReadLatP99 float64
 }
 
 // Figure4Result reproduces Figure 4: data bus utilization of the twenty
@@ -89,7 +92,10 @@ func (r *Runner) Figure4() (Figure4Result, error) {
 		if err != nil {
 			return err
 		}
-		rows[i] = Figure4Row{Benchmark: names[i], BusUtil: tr.BusUtil, IPC: tr.IPC, ReadLat: tr.AvgReadLatency}
+		rows[i] = Figure4Row{
+			Benchmark: names[i], BusUtil: tr.BusUtil, IPC: tr.IPC, ReadLat: tr.AvgReadLatency,
+			ReadLatP50: tr.ReadLatP50, ReadLatP95: tr.ReadLatP95, ReadLatP99: tr.ReadLatP99,
+		}
 		return nil
 	})
 	return Figure4Result{Rows: rows}, err
@@ -119,8 +125,13 @@ type SubjectRow struct {
 	// paper's QoS baseline); >= 1 meets the QoS objective.
 	NormIPC float64
 
-	// ReadLat is the subject's average memory read latency (cycles).
-	ReadLat float64
+	// ReadLat is the subject's average memory read latency (cycles);
+	// the P50/P95/P99 fields are the distribution's percentiles (the
+	// priority-inversion analysis cares about the tail, not the mean).
+	ReadLat    float64
+	ReadLatP50 float64
+	ReadLatP95 float64
+	ReadLatP99 float64
 
 	// BusUtil is the subject's share of peak data bus bandwidth.
 	BusUtil float64
@@ -175,6 +186,9 @@ func (r *Runner) TwoCore() (TwoCoreResult, error) {
 				Policy:      pol.Name,
 				NormIPC:     norm,
 				ReadLat:     s.AvgReadLatency,
+				ReadLatP50:  s.ReadLatP50,
+				ReadLatP95:  s.ReadLatP95,
+				ReadLatP99:  s.ReadLatP99,
 				BusUtil:     s.BusUtil,
 				BgNormIPC:   bgNorm,
 				AggBusUtil:  res.DataBusUtil,

@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Golden-figure regression tests: the figure numbers at QuickConfig are
+// frozen into testdata/golden/quick.json. The simulator is fully
+// deterministic, so any drift in these values means a behavioral change
+// to the DRAM model, the schedulers, or the CPU front end — the test
+// fails until the change is either fixed or deliberately blessed with
+//
+//	go test ./internal/exp -run TestGoldenFigures -update
+//
+// On mismatch the freshly computed values are written next to the
+// golden file as quick.got.json so CI can upload them as an artifact
+// and a reviewer can diff golden-vs-got without rerunning anything.
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files from the current simulator")
+
+const (
+	goldenFile = "testdata/golden/quick.json"
+
+	// goldenTol is the relative tolerance for comparisons. Runs are
+	// bit-deterministic, so this only needs to absorb the float64
+	// round-trip through JSON (which encoding/json performs exactly);
+	// it is deliberately tight so real drift cannot hide inside it.
+	goldenTol = 1e-9
+)
+
+// goldenBenches are the Figure 4 solo benchmarks frozen in the golden
+// file: the background hog (art), the latency-sensitive victim (vpr),
+// and a light compute-bound thread (crafty).
+var goldenBenches = []string{"art", "vpr", "crafty"}
+
+// goldenSubjects are the Figure 5/6 subjects, each co-run with art
+// under every policy.
+var goldenSubjects = []string{"vpr", "crafty"}
+
+// goldenFigures is the frozen snapshot of the QuickConfig figures.
+type goldenFigures struct {
+	// Fig4 holds solo rows (IPC, bus utilization, latency percentiles)
+	// for goldenBenches on the physical system.
+	Fig4 []Figure4Row `json:"fig4"`
+
+	// Fig56 holds co-run rows (subject x policy) for goldenSubjects
+	// with art, normalized against the scale-2 private baseline.
+	Fig56 []SubjectRow `json:"fig56"`
+
+	// Fairness is the paper's fairness index per policy: the harmonic
+	// mean of the subjects' normalized IPCs.
+	Fairness map[string]float64 `json:"fairness"`
+
+	// CanaryIPC is the raw vpr IPC in the vpr+art FQ-VFTF co-run; the
+	// timing-drift canary test perturbs tRAS and demands this moves.
+	CanaryIPC float64 `json:"canary_ipc"`
+}
+
+// computeGoldenFigures runs the QuickConfig subset of Figures 4/5/6.
+func computeGoldenFigures(t *testing.T) goldenFigures {
+	t.Helper()
+	r := NewRunner(QuickConfig())
+	var g goldenFigures
+
+	for _, b := range goldenBenches {
+		tr, err := r.Solo(b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Fig4 = append(g.Fig4, Figure4Row{
+			Benchmark: b, BusUtil: tr.BusUtil, IPC: tr.IPC, ReadLat: tr.AvgReadLatency,
+			ReadLatP50: tr.ReadLatP50, ReadLatP95: tr.ReadLatP95, ReadLatP99: tr.ReadLatP99,
+		})
+	}
+
+	bgBase, err := r.Solo("art", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Fairness = make(map[string]float64)
+	for _, pol := range PolicyNames() {
+		var norms []float64
+		for _, sub := range goldenSubjects {
+			subBase, err := r.Solo(sub, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.CoRun([]string{sub, "art"}, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, bg := res.Threads[0], res.Threads[1]
+			norm := s.IPC / subBase.IPC
+			bgNorm := bg.IPC / bgBase.IPC
+			g.Fig56 = append(g.Fig56, SubjectRow{
+				Subject: sub, Policy: pol, NormIPC: norm,
+				ReadLat: s.AvgReadLatency, ReadLatP50: s.ReadLatP50,
+				ReadLatP95: s.ReadLatP95, ReadLatP99: s.ReadLatP99,
+				BusUtil: s.BusUtil, BgNormIPC: bgNorm,
+				AggBusUtil: res.DataBusUtil, AggBankUtil: res.BankUtil,
+				HMNormIPC: stats.HarmonicMean([]float64{norm, bgNorm}),
+			})
+			norms = append(norms, norm)
+			if sub == "vpr" && pol == "FQ-VFTF" {
+				g.CanaryIPC = s.IPC
+			}
+		}
+		g.Fairness[pol] = stats.HarmonicMean(norms)
+	}
+	return g
+}
+
+func writeGoldenJSON(t *testing.T, path string, g goldenFigures) {
+	t.Helper()
+	buf, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// closeEnough reports whether got matches want within goldenTol
+// (relative, falling back to absolute near zero).
+func closeEnough(got, want float64) bool {
+	d := math.Abs(got - want)
+	return d <= goldenTol*math.Max(1, math.Max(math.Abs(got), math.Abs(want)))
+}
+
+// diffFigures returns human-readable mismatch descriptions.
+func diffFigures(got, want goldenFigures) []string {
+	var diffs []string
+	num := func(label string, g, w float64) {
+		if !closeEnough(g, w) {
+			diffs = append(diffs, fmt.Sprintf("%s: got %v, golden %v", label, g, w))
+		}
+	}
+	if len(got.Fig4) != len(want.Fig4) || len(got.Fig56) != len(want.Fig56) {
+		return append(diffs, fmt.Sprintf("row counts: got fig4=%d fig56=%d, golden fig4=%d fig56=%d",
+			len(got.Fig4), len(got.Fig56), len(want.Fig4), len(want.Fig56)))
+	}
+	for i, g := range got.Fig4 {
+		w := want.Fig4[i]
+		if g.Benchmark != w.Benchmark {
+			diffs = append(diffs, fmt.Sprintf("fig4[%d]: benchmark %q vs %q", i, g.Benchmark, w.Benchmark))
+			continue
+		}
+		pre := "fig4/" + g.Benchmark
+		num(pre+"/ipc", g.IPC, w.IPC)
+		num(pre+"/bus_util", g.BusUtil, w.BusUtil)
+		num(pre+"/read_lat", g.ReadLat, w.ReadLat)
+		num(pre+"/read_lat_p50", g.ReadLatP50, w.ReadLatP50)
+		num(pre+"/read_lat_p95", g.ReadLatP95, w.ReadLatP95)
+		num(pre+"/read_lat_p99", g.ReadLatP99, w.ReadLatP99)
+	}
+	for i, g := range got.Fig56 {
+		w := want.Fig56[i]
+		if g.Subject != w.Subject || g.Policy != w.Policy {
+			diffs = append(diffs, fmt.Sprintf("fig56[%d]: row %s/%s vs %s/%s",
+				i, g.Subject, g.Policy, w.Subject, w.Policy))
+			continue
+		}
+		pre := "fig56/" + g.Subject + "/" + g.Policy
+		num(pre+"/norm_ipc", g.NormIPC, w.NormIPC)
+		num(pre+"/bg_norm_ipc", g.BgNormIPC, w.BgNormIPC)
+		num(pre+"/hm_norm_ipc", g.HMNormIPC, w.HMNormIPC)
+		num(pre+"/read_lat", g.ReadLat, w.ReadLat)
+		num(pre+"/read_lat_p99", g.ReadLatP99, w.ReadLatP99)
+		num(pre+"/agg_bus_util", g.AggBusUtil, w.AggBusUtil)
+	}
+	for _, pol := range PolicyNames() {
+		num("fairness/"+pol, got.Fairness[pol], want.Fairness[pol])
+	}
+	num("canary_ipc", got.CanaryIPC, want.CanaryIPC)
+	return diffs
+}
+
+// TestGoldenFigures compares the QuickConfig figure subset against the
+// frozen golden file and enforces the paper's qualitative result: the
+// fairness index ordering FQ-VFTF >= FR-VFTF >= FR-FCFS.
+func TestGoldenFigures(t *testing.T) {
+	got := computeGoldenFigures(t)
+
+	// The qualitative paper result must hold regardless of the frozen
+	// numbers: fair queuing beats FR-VFTF beats FR-FCFS on fairness.
+	fq, frv, frf := got.Fairness["FQ-VFTF"], got.Fairness["FR-VFTF"], got.Fairness["FR-FCFS"]
+	if !(fq >= frv && frv >= frf) {
+		t.Errorf("fairness ordering violated: FQ-VFTF=%.4f FR-VFTF=%.4f FR-FCFS=%.4f", fq, frv, frf)
+	}
+
+	if *updateGolden {
+		writeGoldenJSON(t, goldenFile, got)
+		t.Logf("rewrote %s", goldenFile)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var want goldenFigures
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	if diffs := diffFigures(got, want); len(diffs) > 0 {
+		gotPath := "testdata/golden/quick.got.json"
+		writeGoldenJSON(t, gotPath, got)
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Errorf("figures drifted from %s (%d mismatches); wrote %s — inspect the diff, then bless with -update if intended",
+			goldenFile, len(diffs), gotPath)
+	} else {
+		// Stale .got.json from a previous failing run should not linger
+		// once the drift is resolved.
+		os.Remove("testdata/golden/quick.got.json")
+	}
+}
+
+// TestGoldenDetectsTimingDrift is the canary for the golden mechanism
+// itself: a deliberate +2 cycle tRAS perturbation must shift the canary
+// co-run IPC away from the golden value. If this test fails, the golden
+// comparison has lost its teeth (e.g. the tolerance grew too loose or
+// the canary stopped exercising row-cycle timing).
+func TestGoldenDetectsTimingDrift(t *testing.T) {
+	buf, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Skipf("no golden file yet: %v", err)
+	}
+	var want goldenFigures
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Workload: []trace.Profile{vpr, art}, Policy: sim.FQVFTF}
+	cfg.Mem.DRAM = dram.DefaultConfig()
+	cfg.Mem.DRAM.Timing.TRAS += 2 // still <= tRC, so the config validates
+	qc := QuickConfig()
+	res, err := sim.Run(cfg, qc.Warmup, qc.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closeEnough(res.Threads[0].IPC, want.CanaryIPC) {
+		t.Errorf("perturbed tRAS produced canary IPC %v within tolerance of golden %v; golden comparison would miss real timing drift",
+			res.Threads[0].IPC, want.CanaryIPC)
+	}
+}

@@ -62,3 +62,29 @@ func TestQuick(t *testing.T) {
 		t.Errorf("parallelDo error = %v, want boom", err)
 	}
 }
+
+// TestParallelDoJoinsAllErrors injects two independent failures and
+// demands both survive to the caller — the old first-error-wins
+// collection silently dropped every failure after the lowest index.
+func TestParallelDoJoinsAllErrors(t *testing.T) {
+	errA := errors.New("worker 2: bad workload")
+	errB := errors.New("worker 6: bad policy")
+	err := parallelDo(8, func(i int) error {
+		switch i {
+		case 2:
+			return errA
+		case 6:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("joined error %v lost the first failure", err)
+	}
+	if !errors.Is(err, errB) {
+		t.Errorf("joined error %v lost the second failure", err)
+	}
+	if err := parallelDo(4, func(int) error { return nil }); err != nil {
+		t.Errorf("all-success parallelDo = %v, want nil", err)
+	}
+}

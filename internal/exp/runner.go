@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -174,8 +175,10 @@ func (r *Runner) CoRun(benches []string, policy string) (sim.Result, error) {
 	return r.run(key, sim.Config{Workload: ps, Policy: factory})
 }
 
-// parallelDo runs fn(i) for i in [0, n) concurrently and returns the
-// first error.
+// parallelDo runs fn(i) for i in [0, n) concurrently. All failures are
+// reported, joined with errors.Join — returning only the first would
+// hide independent failures from the other workers (distinct workloads
+// can fail for distinct reasons, and the caller sees them all at once).
 func parallelDo(n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -187,12 +190,7 @@ func parallelDo(n int, fn func(i int) error) error {
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // allBenchmarks returns the suite names in Figure 4 order.

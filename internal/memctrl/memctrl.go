@@ -19,6 +19,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -89,6 +90,18 @@ type Config struct {
 
 	// AuditConfig tunes the auditor's thresholds when Audit is set.
 	AuditConfig audit.Config
+
+	// Metrics, when non-nil, registers the controller's observability
+	// metrics (per-bank command mix, per-thread occupancy, VTMS lag,
+	// FQ priority-inversion windows) with the registry. Metrics never
+	// feed back into scheduling: results are bit-identical with or
+	// without.
+	Metrics *metrics.Registry
+
+	// Trace, when non-nil, streams a Chrome trace-event timeline of
+	// every SDRAM command and request lifetime. Like Metrics, it is
+	// purely observational.
+	Trace *metrics.TraceWriter
 }
 
 // DefaultConfig returns the paper's Table 5 controller configuration for
@@ -188,6 +201,10 @@ type candidate struct {
 	arr   int64
 	id    uint64
 	isCAS bool
+	// inverted marks a CAS selected while a same-bank request with a
+	// strictly smaller policy key waits (metrics only; computed from
+	// the keys the selection loop evaluates anyway, never re-derived).
+	inverted bool
 }
 
 // Controller is the shared memory controller.
@@ -241,6 +258,13 @@ type Controller struct {
 
 	// aud is the optional runtime invariant auditor (nil when off).
 	aud *audit.Auditor
+
+	// met/tw are the optional observability sinks (nil when off); see
+	// Config.Metrics and Config.Trace. traceVals is the event arg
+	// scratch buffer.
+	met       *memMetrics
+	tw        *metrics.TraceWriter
+	traceVals [3]int64
 }
 
 // Forever is the "no event scheduled" sentinel for wake times.
@@ -330,6 +354,13 @@ func New(cfg Config, policy core.Policy) (*Controller, error) {
 				}
 			},
 		})
+	}
+	if cfg.Metrics != nil {
+		c.met = newMemMetrics(cfg.Metrics, c)
+	}
+	if cfg.Trace != nil {
+		c.tw = cfg.Trace
+		c.initTrace()
 	}
 	return c, nil
 }
@@ -510,6 +541,13 @@ func (c *Controller) Accept(thread int, lineAddr uint64, isWrite bool, now int64
 	if c.aud != nil {
 		c.aud.OnAccept(req, now)
 	}
+	if c.met != nil {
+		if isWrite {
+			c.met.writeOcc[thread].Observe(int64(c.writeOcc[thread]))
+		} else {
+			c.met.readOcc[thread].Observe(int64(c.readOcc[thread]))
+		}
+	}
 	return true
 }
 
@@ -597,6 +635,9 @@ func (c *Controller) Tick(now int64) {
 			if c.aud != nil {
 				c.aud.OnReadDone(f.req, f.doneAt, now)
 			}
+			if c.tw != nil {
+				c.traceLifetime("read", f.req.Thread, f.req.GlobalBank, f.req.Row, f.req.ArrivalReal, f.doneAt)
+			}
 		}
 		if head == len(q) {
 			// Fully drained: reset in place so long runs reuse the
@@ -617,6 +658,11 @@ func (c *Controller) Tick(now int64) {
 	// schedule so the approximation is exact for Channels = 1).
 	if !c.chans[0].InRefresh(now) {
 		c.vclock++
+	}
+	if c.met != nil {
+		// Cycles [0, now] minus vclock = cycles the virtual clock has
+		// paused for refresh so far.
+		c.met.vclockLag.Set(now + 1 - c.vclock)
 	}
 
 	if c.aud != nil {
@@ -639,6 +685,12 @@ func (c *Controller) Tick(now int64) {
 			}
 			ch.Issue(dram.KindRefresh, 0, 0, now)
 			c.cmdCount[dram.KindRefresh]++
+			if c.met != nil {
+				c.met.refreshLag.Observe(now + 1 - c.vclock)
+			}
+			if c.tw != nil {
+				c.tw.Complete("REF", tracePidChannel+chIdx, c.banksPerChan, now, c.cmdDuration(dram.KindRefresh))
+			}
 			c.refreshWanted[chIdx] = false
 			c.nextRefreshAt[chIdx] += int64(c.cfg.DRAM.Timing.TREF)
 			// The channel sleeps until the refresh completes. Raising
@@ -798,12 +850,16 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 		bestKey   int64
 		bestReady bool
 		bestCAS   bool
-		minEarly  = Forever // non-strict: min EarliestIssue over requests
+		minEarly  = Forever          // non-strict: min EarliestIssue over requests
+		minKey    = int64(1)<<62 - 1 // min key over all requests (metrics only)
 	)
 	for _, r := range reqs {
 		state := c.bankStateFor(r)
 		kind := nextCmdFor(r, state)
 		key := c.policy.Key(r, state)
+		if key < minKey {
+			minKey = key
+		}
 		if strict {
 			// Select purely by key order; readiness is not a priority
 			// level. (The bank waits for the selected request.)
@@ -871,14 +927,15 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 		return candidate{}, false, minEarly
 	}
 	return candidate{
-		req:   bestReq,
-		kind:  bestKind,
-		bank:  b,
-		row:   bestReq.Row,
-		key:   bestKey,
-		arr:   bestReq.Arrival,
-		id:    bestReq.ID,
-		isCAS: bestCAS,
+		req:      bestReq,
+		kind:     bestKind,
+		bank:     b,
+		row:      bestReq.Row,
+		key:      bestKey,
+		arr:      bestReq.Arrival,
+		id:       bestReq.ID,
+		isCAS:    bestCAS,
+		inverted: bestCAS && minKey < bestKey,
 	}, true, now
 }
 
@@ -892,6 +949,14 @@ func (c *Controller) issue(cand *candidate, now int64) {
 		acmd = audit.Cmd{Kind: cand.kind, FlatBank: cand.bank, Row: cand.row, Key: cand.key, Req: cand.req}
 		c.aud.BeforeIssue(acmd, now)
 	}
+	if c.met != nil && cand.inverted {
+		// FQ priority-inversion accounting: this CAS wins while a
+		// same-bank request with a strictly smaller policy key waits
+		// (the first-ready window of RuleFQ). The window length is how
+		// long the bank's current row has been favored.
+		c.met.inversions.Inc()
+		c.met.inversionWindow.Observe(now - ch.LastActivate(lb))
+	}
 	// Issuing any command moves the channel-global constraints (tCCD,
 	// tWTR, data-bus occupancy), and issuing a request command rewrites
 	// the policy's same-channel keys (see the core.Policy contract), so
@@ -901,6 +966,9 @@ func (c *Controller) issue(cand *candidate, now int64) {
 		// Idle-close precharge: device state only; no request, and no
 		// VTMS charge (no thread is waiting on it).
 		ch.Issue(dram.KindPrecharge, lb, 0, now)
+		if c.tw != nil {
+			c.traceCmd(dram.KindPrecharge, cand.bank, -1, 0, now)
+		}
 		if c.aud != nil {
 			c.aud.AfterIssue(acmd, now)
 		}
@@ -913,13 +981,25 @@ func (c *Controller) issue(cand *candidate, now int64) {
 		switch c.bankStateFor(r) {
 		case core.BankHit:
 			st.RowHits++
+			if c.met != nil {
+				c.met.bankRowHit[cand.bank].Inc()
+			}
 		case core.BankConflict:
 			st.RowConflicts++
+			if c.met != nil {
+				c.met.bankRowConf[cand.bank].Inc()
+			}
 		default:
 			st.RowClosed++
+			if c.met != nil {
+				c.met.bankRowClosed[cand.bank].Inc()
+			}
 		}
 	}
 	dataEnd := ch.Issue(cand.kind, lb, r.Row, now)
+	if c.tw != nil {
+		c.traceCmd(cand.kind, cand.bank, r.Thread, r.Row, now)
+	}
 	c.policy.OnIssue(r, core.CmdKind(cand.kind))
 	r.Issued++
 	if cand.kind == dram.KindRead || cand.kind == dram.KindWrite {
@@ -932,6 +1012,9 @@ func (c *Controller) issue(cand *candidate, now int64) {
 			st.WritesDone++
 			c.writeOcc[r.Thread]--
 			c.writeOccTotal--
+			if c.tw != nil {
+				c.traceLifetime("write", r.Thread, cand.bank, r.Row, r.ArrivalReal, dataEnd)
+			}
 		}
 	}
 	if c.aud != nil {

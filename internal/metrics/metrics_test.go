@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs")
+	g := r.Gauge("depth")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Set(3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 3 {
+		t.Errorf("gauge = %d, want 3", g.Value())
+	}
+	s := r.Snapshot()
+	if s.Counters["reqs"] != 5 || s.Gauges["depth"] != 3 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestFuncMetricReadOnlyAtSnapshot(t *testing.T) {
+	r := New()
+	calls := 0
+	r.Func("derived", func() int64 { calls++; return 42 })
+	if calls != 0 {
+		t.Fatalf("Func read %d times before snapshot", calls)
+	}
+	s := r.Snapshot()
+	if calls != 1 || s.Gauges["derived"] != 42 {
+		t.Errorf("calls=%d snapshot=%+v", calls, s)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	// 100 observations: 50 at 10 cycles, 45 at 100, 5 at 1000.
+	for i := 0; i < 50; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 45; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(1000)
+	}
+	if h.Count() != 100 || h.Sum() != 50*10+45*100+5*1000 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if got := h.Mean(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("mean = %v, want 100", got)
+	}
+	// p50 lands in the bucket of 10 ([8,16) -> edge 16); p95 in the
+	// bucket of 100 ([64,128) -> 128); p99 in the bucket of 1000
+	// ([512,1024) -> 1024, clamped to max 1000).
+	if got := h.Quantile(0.50); got != 16 {
+		t.Errorf("p50 = %v, want 16", got)
+	}
+	if got := h.Quantile(0.95); got != 128 {
+		t.Errorf("p95 = %v, want 128", got)
+	}
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Errorf("p99 = %v, want 1000 (clamped to max)", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 = %v, want 1000", got)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5) // clamps to 0
+	if h.Count() != 2 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("p99 = %v, want 0", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestObserveDoesNotAllocate(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	c := r.Counter("n")
+	g := r.Gauge("v")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(123)
+		c.Inc()
+		c.Add(2)
+		g.Set(9)
+	})
+	if allocs != 0 {
+		t.Errorf("hot-path updates allocate %v per run, want 0", allocs)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := New()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(3)
+	r.Histogram("h").Observe(40)
+	r.Func("f", func() int64 { return -1 })
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["a"] != 3 || s.Gauges["f"] != -1 {
+		t.Errorf("round-trip = %+v", s)
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 1 || hs.Sum != 40 || len(hs.Buckets) != 1 || hs.Buckets[0][0] != 64 {
+		t.Errorf("histogram stats = %+v", hs)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := New()
+	r.Counter("b")
+	r.Counter("a")
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}

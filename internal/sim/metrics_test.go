@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// TestMetricsEquivalence is the observability layer's acceptance test:
+// enabling the metrics registry and the Chrome trace writer must leave
+// the simulation bit-identical — same Result, same virtual clock, same
+// per-kind command counts — in both the event-driven and strict modes,
+// and the instrumented run's artifacts must be internally consistent
+// with the simulation's own statistics.
+func TestMetricsEquivalence(t *testing.T) {
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmup, window = 20_000, 80_000
+	type outcome struct {
+		res Result
+		fp  controllerFingerprint
+	}
+	run := func(strict, instrumented bool) (outcome, *metrics.Registry, *bytes.Buffer, int64) {
+		cfg := Config{
+			Workload: []trace.Profile{art, vpr},
+			Policy:   FQVFTF,
+			Seed:     23,
+			Strict:   strict,
+		}
+		var reg *metrics.Registry
+		var buf *bytes.Buffer
+		var tw *metrics.TraceWriter
+		if instrumented {
+			reg = metrics.New()
+			buf = &bytes.Buffer{}
+			tw = metrics.NewTraceWriter(buf)
+			cfg.Metrics = reg
+			cfg.Trace = tw
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Step(warmup)
+		s.BeginMeasurement()
+		s.Step(window)
+		ctrl := s.Controller()
+		fp := controllerFingerprint{VClock: ctrl.VClock()}
+		for k := dram.KindActivate; k <= dram.KindRefresh; k++ {
+			fp.Commands[k] = ctrl.CommandCount(k)
+		}
+		var readsDone int64
+		for i := 0; i < 2; i++ {
+			readsDone += ctrl.Stats(i).ReadsDone
+		}
+		if tw != nil {
+			if err := tw.Close(); err != nil {
+				t.Fatalf("trace close: %v", err)
+			}
+		}
+		return outcome{res: s.Results(), fp: fp}, reg, buf, readsDone
+	}
+
+	base, _, _, _ := run(false, false)
+	inst, reg, buf, readsDone := run(false, true)
+	strictInst, _, _, _ := run(true, true)
+
+	if !reflect.DeepEqual(base.res, inst.res) {
+		t.Errorf("metrics+trace changed the Result:\n off: %+v\n on:  %+v", base.res, inst.res)
+	}
+	if base.fp != inst.fp {
+		t.Errorf("metrics+trace changed controller state:\n off: %+v\n on:  %+v", base.fp, inst.fp)
+	}
+	if !reflect.DeepEqual(base.res, strictInst.res) || base.fp != strictInst.fp {
+		t.Errorf("instrumented strict run diverges:\n off:    %+v %+v\n strict: %+v %+v",
+			base.res, base.fp, strictInst.res, strictInst.fp)
+	}
+
+	// The instrumented run's registry must agree with the simulation's
+	// own bookkeeping.
+	snap := reg.Snapshot()
+	if got := snap.Gauges["sim.cycle"]; got != warmup+window {
+		t.Errorf("sim.cycle = %d, want %d", got, warmup+window)
+	}
+	if got := snap.Gauges["memctrl.cmd.ACT"]; got != inst.fp.Commands[dram.KindActivate] {
+		t.Errorf("memctrl.cmd.ACT = %d, want %d", got, inst.fp.Commands[dram.KindActivate])
+	}
+	var histReads int64
+	for i := 0; i < 2; i++ {
+		h := snap.Histograms["sim.thread"+string(rune('0'+i))+".read_latency"]
+		if h.Count == 0 || h.P50 <= 0 || h.P99 < h.P50 {
+			t.Errorf("thread %d latency histogram implausible: %+v", i, h)
+		}
+		histReads += h.Count
+	}
+	if histReads != readsDone {
+		t.Errorf("latency histogram holds %d reads, controller completed %d", histReads, readsDone)
+	}
+	// Per-bank command counters must sum to the controller's totals.
+	var actSum int64
+	for name, v := range snap.Gauges {
+		if matched, _ := pathMatch(name, "dram.chan", ".activates"); matched {
+			actSum += v
+		}
+	}
+	if actSum != inst.fp.Commands[dram.KindActivate] {
+		t.Errorf("per-bank activates sum to %d, controller issued %d", actSum, inst.fp.Commands[dram.KindActivate])
+	}
+
+	// The trace must be valid Chrome trace-event JSON with events.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var acts, reads int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch ev.Name {
+		case "ACT":
+			acts++
+		case "read":
+			reads++
+		}
+	}
+	if int64(acts) != inst.fp.Commands[dram.KindActivate] {
+		t.Errorf("trace has %d ACT events, controller issued %d", acts, inst.fp.Commands[dram.KindActivate])
+	}
+	if int64(reads) != readsDone {
+		t.Errorf("trace has %d read lifetimes, controller completed %d", reads, readsDone)
+	}
+}
+
+// pathMatch reports whether s has the given prefix and suffix.
+func pathMatch(s, prefix, suffix string) (bool, string) {
+	if len(s) < len(prefix)+len(suffix) || s[:len(prefix)] != prefix || s[len(s)-len(suffix):] != suffix {
+		return false, ""
+	}
+	return true, s[len(prefix) : len(s)-len(suffix)]
+}
+
+// TestStallCyclesAccounting sanity-checks the ROB-stall measure: a
+// memory-bound thread sharing the bus must stall a nonzero but bounded
+// number of cycles, and the fast/strict equivalence (asserted above via
+// Result.StallCycles) ensures the skip-credit path agrees with the
+// per-cycle count.
+func TestStallCyclesAccounting(t *testing.T) {
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Workload: []trace.Profile{art, art}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(50_000)
+	res := s.Results()
+	for i, tr := range res.Threads {
+		if tr.StallCycles <= 0 {
+			t.Errorf("thread %d: no ROB stalls in a memory-bound co-run", i)
+		}
+		if tr.StallCycles > res.Cycles {
+			t.Errorf("thread %d: %d stall cycles exceed the %d-cycle window", i, tr.StallCycles, res.Cycles)
+		}
+	}
+}

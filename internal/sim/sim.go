@@ -15,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -103,6 +104,19 @@ type Config struct {
 	// identical with or without. The FQMS_AUDIT environment variable (any
 	// non-empty value) forces it globally.
 	Audit bool
+
+	// Metrics, when non-nil, registers the whole stack's observability
+	// metrics with the registry: the controller's per-bank command mix
+	// and VTMS bookkeeping (see memctrl.Config.Metrics) plus per-thread
+	// end-to-end read-latency histograms, retired-instruction counts,
+	// and ROB-stall cycles. Metrics are write-only from the simulation's
+	// point of view: results are bit-identical with or without.
+	Metrics *metrics.Registry
+
+	// Trace, when non-nil, streams a Chrome trace-event (about://tracing)
+	// timeline of SDRAM commands and request lifetimes. Purely
+	// observational, like Metrics.
+	Trace *metrics.TraceWriter
 }
 
 // withDefaults fills zero-valued fields with Table 5 defaults.
@@ -181,6 +195,8 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Audit {
 		c.Mem.Audit = true
 	}
+	c.Mem.Metrics = c.Metrics
+	c.Mem.Trace = c.Trace
 	return c, nil
 }
 
@@ -200,6 +216,10 @@ type System struct {
 	fetchQ [][]timedAddr // per core, toward the controller (reads)
 	wbQ    [][]timedAddr // per core, toward the controller (writes)
 	respQ  [][]timedAddr // per core, fills returning
+
+	// latHist holds the per-thread end-to-end read-latency histograms
+	// (nil when Config.Metrics is unset).
+	latHist []*metrics.Histogram
 
 	snap snapshot
 }
@@ -249,8 +269,40 @@ func New(cfg Config) (*System, error) {
 		t := req.Thread
 		s.respQ[t] = append(s.respQ[t], timedAddr{addr: req.Addr, at: now + int64(s.cfg.RespTransit)})
 	}
+	if cfg.Metrics != nil {
+		s.initMetrics(cfg.Metrics)
+	}
 	ctrl.SetEventDriven(!cfg.Strict)
 	return s, nil
+}
+
+// fixedReadLatency is the deterministic part of an end-to-end read: L1
+// and L2 lookups plus both transit legs.
+func (s *System) fixedReadLatency() int64 {
+	return int64(s.cfg.Cache.L1D.Latency + s.cfg.Cache.L2.Latency +
+		s.cfg.ReqTransit + s.cfg.RespTransit)
+}
+
+// initMetrics registers the system-level metrics and chains an
+// end-to-end latency observation onto the controller's read-completion
+// callback. Observation order and content never influence simulation
+// state, preserving bit-identical results.
+func (s *System) initMetrics(reg *metrics.Registry) {
+	s.latHist = make([]*metrics.Histogram, len(s.cores))
+	fixed := s.fixedReadLatency()
+	for i, c := range s.cores {
+		c := c
+		s.latHist[i] = reg.Histogram(fmt.Sprintf("sim.thread%d.read_latency", i))
+		reg.Func(fmt.Sprintf("cpu.thread%d.retired", i), func() int64 { return c.Retired })
+		reg.Func(fmt.Sprintf("cpu.thread%d.loads_retired", i), func() int64 { return c.LoadsRetired })
+		reg.Func(fmt.Sprintf("cpu.thread%d.stall_cycles", i), func() int64 { return c.StallCycles })
+	}
+	reg.Func("sim.cycle", func() int64 { return s.cycle })
+	inner := s.ctrl.OnReadDone
+	s.ctrl.OnReadDone = func(req *core.Request, now int64) {
+		s.latHist[req.Thread].Observe(now - req.ArrivalReal + fixed)
+		inner(req, now)
+	}
 }
 
 // Controller exposes the memory controller (for statistics and tests).
@@ -344,8 +396,14 @@ func (s *System) Step(n int64) {
 		if !s.cfg.Strict {
 			if wake := s.nextWake(now, end); wake > now+1 {
 				// No component can act before wake: credit the virtual
-				// clock for the skipped span and jump.
+				// clock for the skipped span and jump. Skipped cycles
+				// retire nothing by construction, so they are ROB stalls
+				// for any core holding instructions (matching the strict
+				// per-cycle accounting).
 				s.ctrl.SkipTo(now+1, wake)
+				for _, c := range s.cores {
+					c.CreditStall(wake - now - 1)
+				}
 				s.cycle = wake
 				continue
 			}
@@ -411,6 +469,7 @@ func (s *System) nextWake(now, end int64) int64 {
 type snapshot struct {
 	cycle                       int64
 	retired                     []int64
+	stalls                      []int64
 	readsDone                   []int64
 	readLatSum                  []int64
 	busCycles                   []int64
@@ -426,6 +485,7 @@ func (s *System) BeginMeasurement() {
 	s.snap = snapshot{
 		cycle:      s.cycle,
 		retired:    make([]int64, n),
+		stalls:     make([]int64, n),
 		readsDone:  make([]int64, n),
 		readLatSum: make([]int64, n),
 		busCycles:  make([]int64, n),
@@ -436,6 +496,7 @@ func (s *System) BeginMeasurement() {
 	for i, c := range s.cores {
 		st := s.ctrl.Stats(i)
 		s.snap.retired[i] = c.Retired
+		s.snap.stalls[i] = c.StallCycles
 		s.snap.readsDone[i] = st.ReadsDone
 		s.snap.readLatSum[i] = st.ReadLatencySum
 		s.snap.busCycles[i] = st.DataBusCycles
@@ -454,7 +515,10 @@ type ThreadResult struct {
 	IPC            float64
 	ReadsDone      int64
 	AvgReadLatency float64 // end to end: L2 path + transits + controller
+	ReadLatP50     float64 // median end-to-end read latency
 	ReadLatP95     float64 // 95th-percentile end-to-end read latency
+	ReadLatP99     float64 // 99th-percentile end-to-end read latency
+	StallCycles    int64   // cycles the ROB held instructions but retired none
 	BusUtil        float64 // fraction of peak data bus bandwidth
 	RowHitRate     float64
 }
@@ -494,12 +558,15 @@ func (s *System) Results() Result {
 				float64(window*int64(s.ctrl.Channels()))
 		}
 		tr.ReadsDone = st.ReadsDone - s.snap.readsDone[i]
+		tr.StallCycles = c.StallCycles - s.snap.stalls[i]
 		if tr.ReadsDone > 0 {
 			tr.AvgReadLatency = float64(st.ReadLatencySum-s.snap.readLatSum[i])/float64(tr.ReadsDone) + fixedLat
 			// The histogram is cumulative (not windowed); with standard
 			// warmup/window proportions the tail estimate is dominated
 			// by the window.
+			tr.ReadLatP50 = st.ReadLatencyQuantile(0.50) + fixedLat
 			tr.ReadLatP95 = st.ReadLatencyQuantile(0.95) + fixedLat
+			tr.ReadLatP99 = st.ReadLatencyQuantile(0.99) + fixedLat
 		}
 		hits := st.RowHits - s.snap.rowHits[i]
 		tot := hits + (st.RowConflicts - s.snap.rowConf[i]) + (st.RowClosed - s.snap.rowClosed[i])
@@ -527,6 +594,7 @@ func (s *System) BeginMeasurementAtZero() {
 	s.snap.cycle = 0
 	for i := range s.snap.retired {
 		s.snap.retired[i] = 0
+		s.snap.stalls[i] = 0
 		s.snap.readsDone[i] = 0
 		s.snap.readLatSum[i] = 0
 		s.snap.busCycles[i] = 0

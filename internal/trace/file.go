@@ -72,8 +72,14 @@ func WriteTrace(w io.Writer, src Source, n uint64) error {
 	bw.WriteString(name)
 	var u32 [4]byte
 	codeKB := uint32(0)
-	if g, ok := src.(*Generator); ok {
-		codeKB = uint32(g.p.CodeKB)
+	switch s := src.(type) {
+	case *Generator:
+		codeKB = uint32(s.p.CodeKB)
+	case *Reader:
+		// Re-recording a replayed trace must preserve the I-fetch
+		// footprint, or the second generation silently loses its code
+		// stream.
+		codeKB = uint32(s.codeKB)
 	}
 	binary.LittleEndian.PutUint32(u32[:], codeKB)
 	bw.Write(u32[:])
@@ -144,16 +150,18 @@ func ReadTrace(r io.Reader) (*Reader, error) {
 		return nil, err
 	}
 	count := binary.LittleEndian.Uint64(u64[:])
+	if count == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
 	const maxTrace = 1 << 28 // 256M instructions
 	if count > maxTrace {
 		return nil, fmt.Errorf("trace: %d instructions exceeds the %d cap", count, maxTrace)
 	}
-	rd := &Reader{
-		name:      string(nameBuf),
-		codeKB:    int(codeKB),
-		codeLines: int(codeKB) * 1024 / lineBytes,
-		records:   make([]Instr, count),
-	}
+	// The header's count is untrusted: grow the slice as records
+	// actually arrive so a tiny file claiming 256M instructions fails on
+	// its first short read instead of allocating gigabytes up front.
+	const allocChunk = 1 << 16
+	records := make([]Instr, 0, min(count, allocChunk))
 	var rec [3]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -169,12 +177,14 @@ func ReadTrace(r io.Reader) (*Reader, error) {
 			}
 			ins.Addr = binary.LittleEndian.Uint64(u64[:])
 		}
-		rd.records[i] = ins
+		records = append(records, ins)
 	}
-	if count == 0 {
-		return nil, fmt.Errorf("trace: empty trace")
-	}
-	return rd, nil
+	return &Reader{
+		name:      string(nameBuf),
+		codeKB:    int(codeKB),
+		codeLines: int(codeKB) * 1024 / lineBytes,
+		records:   records,
+	}, nil
 }
 
 // Name implements Source.

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace throws arbitrary bytes at the trace parser. Two
+// properties must hold for every input:
+//
+//  1. ReadTrace never panics and never allocates proportionally to a
+//     hostile header (the record loop grows the slice as data arrives).
+//  2. Any input ReadTrace accepts must survive a write/read round trip
+//     bit-identically: the Reader is itself a Source, so re-recording
+//     it and re-parsing must reproduce the same name, code footprint,
+//     and instruction stream.
+//
+// The seed corpus covers real recorded traces (with and without an
+// I-fetch stream), plus headers that historically needed care. Run with
+// `go test -fuzz=FuzzReadTrace ./internal/trace` to explore further;
+// plain `go test` replays the seeds deterministically.
+func FuzzReadTrace(f *testing.F) {
+	for _, seed := range []struct {
+		bench string
+		n     uint64
+	}{
+		{"ammp", 300},   // loads+stores, no code stream
+		{"crafty", 200}, // CodeKB > 0: exercises the footprint field
+		{"art", 100},    // heavy memory traffic
+	} {
+		p, err := ByName(seed.bench)
+		if err != nil {
+			f.Fatal(err)
+		}
+		g, err := NewGenerator(p, 0, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, g, seed.n); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add(fileMagic[:])
+	// Valid header claiming one instruction, then a bad kind byte.
+	f.Add(append(append([]byte{}, fileMagic[:]...),
+		1, 0, 'x', 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 99, 0, 1))
+	// Valid header claiming 2^27 instructions with no data: must fail
+	// on the first record read, not allocate gigabytes.
+	f.Add(append(append([]byte{}, fileMagic[:]...),
+		1, 0, 'x', 0, 0, 0, 0, 0, 0, 0, 8, 0, 0, 0, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking or OOM is not
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, r, uint64(r.Len())); err != nil {
+			t.Fatalf("re-recording an accepted trace failed: %v", err)
+		}
+		// Exactly Len() Next calls wrap the reader back to position 0,
+		// so r replays from the start again below.
+		r2, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading a re-recorded trace failed: %v", err)
+		}
+		if r2.Name() != r.Name() {
+			t.Fatalf("name drifted: %q -> %q", r.Name(), r2.Name())
+		}
+		if r2.codeKB != r.codeKB {
+			t.Fatalf("code footprint drifted: %d -> %d KB", r.codeKB, r2.codeKB)
+		}
+		if r2.Len() != r.Len() {
+			t.Fatalf("length drifted: %d -> %d", r.Len(), r2.Len())
+		}
+		var a, b Instr
+		for i := 0; i < r.Len(); i++ {
+			r.Next(&a)
+			r2.Next(&b)
+			if a != b {
+				t.Fatalf("record %d drifted: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}
+
+// TestReadTraceHostileCount pins the allocation fix: a 23-byte file
+// whose header claims 2^27 instructions must fail fast on the missing
+// first record rather than allocating a multi-gigabyte slice.
+func TestReadTraceHostileCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(fileMagic[:])
+	buf.Write([]byte{1, 0})
+	buf.WriteString("x")
+	buf.Write([]byte{0, 0, 0, 0})             // codeKB
+	buf.Write([]byte{0, 0, 0, 8, 0, 0, 0, 0}) // count = 1<<27
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("accepted a truncated trace with a hostile count")
+	}
+	// Over the hard cap: rejected from the header alone.
+	buf.Truncate(buf.Len() - 8)
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1}) // count = 1<<56
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("accepted a count beyond the cap")
+	}
+}
+
+// TestWriteTracePreservesReaderCodeKB pins the re-record fix: writing a
+// trace from a *Reader source must carry the I-fetch footprint through,
+// not zero it (only *Generator sources used to be recognized).
+func TestWriteTracePreservesReaderCodeKB(t *testing.T) {
+	p, err := ByName("crafty") // CodeKB 32
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := WriteTrace(&first, g, 500); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadTrace(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteTrace(&second, r, uint64(r.Len())); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadTrace(bytes.NewReader(second.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.CodeLine(); !ok {
+		t.Fatal("code footprint lost when re-recording from a Reader")
+	}
+	if r2.codeKB != r.codeKB {
+		t.Fatalf("codeKB %d -> %d across re-record", r.codeKB, r2.codeKB)
+	}
+}
