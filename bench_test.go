@@ -390,6 +390,47 @@ func BenchmarkSimThroughputMetrics(b *testing.B) {
 	}
 }
 
+// BenchmarkSimThroughputSampled reruns the perf-trajectory
+// configurations with epoch sampling at the default interval (registry
+// snapshot plus fairness scoring every 10k cycles), so the time-series
+// telemetry's overhead can be read directly against
+// BenchmarkSimThroughput (the budget is <5%).
+func BenchmarkSimThroughputSampled(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		benches []string
+	}{
+		{"light-4xcrafty", []string{"crafty", "crafty", "crafty", "crafty"}},
+		{"mixed", trace.FourCoreWorkloads()[0]},
+		{"heavy-4xart", []string{"art", "art", "art", "art"}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			profiles := make([]trace.Profile, len(v.benches))
+			for i, n := range v.benches {
+				profiles[i], _ = trace.ByName(n)
+			}
+			s, err := sim.New(sim.Config{
+				Workload:       profiles,
+				Policy:         sim.FQVFTF,
+				SampleInterval: metrics.DefaultSampleInterval,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step(10_000)
+			}
+			elapsed := b.Elapsed().Seconds()
+			if elapsed == 0 {
+				elapsed = 1e-9
+			}
+			b.ReportMetric(float64(s.Cycle())/elapsed/1e6, "Msimcycles/s")
+			b.ReportMetric(float64(s.Sampler().Epochs()), "epochs")
+		})
+	}
+}
+
 func itoa(x int64) string {
 	if x == 0 {
 		return "0"

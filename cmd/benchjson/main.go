@@ -6,14 +6,18 @@
 //
 // Usage:
 //
-//	benchjson [-warmup N] [-cycles N] [-strict] [-metrics] [-seed N]
+//	benchjson [-warmup N] [-cycles N] [-strict] [-metrics] [-sample] [-seed N]
 //
 // With -strict each configuration is additionally run with the
 // event-driven fast path disabled (the per-cycle oracle), and the
 // report includes the fast/strict speedup ratio. With -metrics each
 // configuration is additionally run with the observability layer
 // (metrics registry) enabled, and the report includes the
-// metrics-enabled overhead ratio (the budget is <5%).
+// metrics-enabled overhead ratio (the budget is <5%). With -sample
+// each configuration is additionally run with epoch sampling at the
+// default interval (registry snapshots plus the fairness monitor on
+// every boundary), and the report includes the sampling overhead
+// ratio (same <5% budget).
 package main
 
 import (
@@ -37,6 +41,7 @@ type run struct {
 	Policy          string   `json:"policy"`
 	Strict          bool     `json:"strict"`
 	Metrics         bool     `json:"metrics,omitempty"`
+	Sampled         bool     `json:"sampled,omitempty"`
 	SimulatedCycles int64    `json:"simulated_cycles"`
 	RequestsDone    int64    `json:"requests_done"`
 	WallSeconds     float64  `json:"wall_seconds"`
@@ -54,9 +59,10 @@ type report struct {
 	Warmup    int64   `json:"warmup_cycles"`
 	Cycles    int64   `json:"measured_cycles"`
 	Seed      uint64  `json:"seed"`
-	Runs      []run   `json:"runs"`
-	Speedups  []ratio `json:"speedups,omitempty"`
-	Overheads []ratio `json:"metrics_overheads,omitempty"`
+	Runs            []run   `json:"runs"`
+	Speedups        []ratio `json:"speedups,omitempty"`
+	Overheads       []ratio `json:"metrics_overheads,omitempty"`
+	SampleOverheads []ratio `json:"sample_overheads,omitempty"`
 }
 
 // ratio records a throughput ratio between two runs of one
@@ -78,7 +84,7 @@ var configs = []struct {
 	{"heavy-4xart", []string{"art", "art", "art", "art"}},
 }
 
-func measure(benches []string, warmup, cycles int64, seed uint64, strict, instrumented bool) (run, error) {
+func measure(benches []string, warmup, cycles int64, seed uint64, strict, instrumented, sampled bool) (run, error) {
 	profiles := make([]trace.Profile, len(benches))
 	for i, n := range benches {
 		p, err := trace.ByName(n)
@@ -100,6 +106,9 @@ func measure(benches []string, warmup, cycles int64, seed uint64, strict, instru
 		cfg.Metrics = metrics.New()
 		tw = metrics.NewTraceWriter(io.Discard)
 		cfg.Trace = tw
+	}
+	if sampled {
+		cfg.SampleInterval = metrics.DefaultSampleInterval
 	}
 	s, err := sim.New(cfg)
 	if err != nil {
@@ -132,6 +141,7 @@ func measure(benches []string, warmup, cycles int64, seed uint64, strict, instru
 		Policy:          "FQ-VFTF",
 		Strict:          strict,
 		Metrics:         instrumented,
+		Sampled:         sampled,
 		SimulatedCycles: cycles,
 		RequestsDone:    reqs,
 		WallSeconds:     elapsed,
@@ -144,9 +154,10 @@ func main() {
 	var (
 		warmup = flag.Int64("warmup", 50_000, "unmeasured warmup cycles per configuration")
 		cycles = flag.Int64("cycles", 2_000_000, "measured simulated cycles per configuration")
-		seed    = flag.Uint64("seed", 0, "trace generator seed")
-		strict  = flag.Bool("strict", false, "also measure the per-cycle oracle and report speedups")
-		withMet = flag.Bool("metrics", false, "also measure with metrics+trace enabled and report overheads")
+		seed     = flag.Uint64("seed", 0, "trace generator seed")
+		strict   = flag.Bool("strict", false, "also measure the per-cycle oracle and report speedups")
+		withMet  = flag.Bool("metrics", false, "also measure with metrics+trace enabled and report overheads")
+		withSamp = flag.Bool("sample", false, "also measure with epoch sampling enabled and report overheads")
 	)
 	flag.Parse()
 
@@ -166,7 +177,7 @@ func main() {
 		if benches == nil {
 			benches = trace.FourCoreWorkloads()[0]
 		}
-		fast, err := measure(benches, *warmup, *cycles, *seed, false, false)
+		fast, err := measure(benches, *warmup, *cycles, *seed, false, false, false)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -174,7 +185,7 @@ func main() {
 		fast.Name = c.name
 		rep.Runs = append(rep.Runs, fast)
 		if *strict {
-			slow, err := measure(benches, *warmup, *cycles, *seed, true, false)
+			slow, err := measure(benches, *warmup, *cycles, *seed, true, false, false)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(1)
@@ -187,7 +198,7 @@ func main() {
 			})
 		}
 		if *withMet {
-			inst, err := measure(benches, *warmup, *cycles, *seed, false, true)
+			inst, err := measure(benches, *warmup, *cycles, *seed, false, true, false)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(1)
@@ -197,6 +208,19 @@ func main() {
 			rep.Overheads = append(rep.Overheads, ratio{
 				Name:    c.name,
 				Speedup: fast.MSimCyclesPerS / inst.MSimCyclesPerS,
+			})
+		}
+		if *withSamp {
+			samp, err := measure(benches, *warmup, *cycles, *seed, false, false, true)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			samp.Name = c.name + "-sampled"
+			rep.Runs = append(rep.Runs, samp)
+			rep.SampleOverheads = append(rep.SampleOverheads, ratio{
+				Name:    c.name,
+				Speedup: fast.MSimCyclesPerS / samp.MSimCyclesPerS,
 			})
 		}
 	}

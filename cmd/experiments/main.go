@@ -6,34 +6,73 @@
 // Usage:
 //
 //	experiments [-fig 1|4|5|6|7|8|9|all] [-warmup N] [-window N] [-seed N]
+//	            [-serve addr] [-series-dir dir] [-sample-interval N]
+//
+// -serve exposes sweep progress (figures done, simulated cycles per
+// second) and, once runs sample, the usual telemetry endpoints over
+// HTTP while the sweep executes. -series-dir makes every simulation
+// leave a .series.json and .fairness.csv time-series artifact.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, 9, sweep, headline, or all")
-		warmup = flag.Int64("warmup", 50_000, "warmup cycles per run")
-		window = flag.Int64("window", 400_000, "measurement cycles per run")
-		seed   = flag.Uint64("seed", 0, "trace generator seed")
-		par    = flag.Int("parallel", 8, "concurrent simulations")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, 9, sweep, headline, or all")
+		warmup    = flag.Int64("warmup", 50_000, "warmup cycles per run")
+		window    = flag.Int64("window", 400_000, "measurement cycles per run")
+		seed      = flag.Uint64("seed", 0, "trace generator seed")
+		par       = flag.Int("parallel", 8, "concurrent simulations")
+		serveAddr = flag.String("serve", "", "serve sweep progress over HTTP on this address (e.g. 127.0.0.1:9300)")
+		seriesDir = flag.String("series-dir", "", "write per-run time-series artifacts into this directory")
+		sampleInt = flag.Int64("sample-interval", 0, "epoch sampling interval in cycles (0 = auto: 10000 when -series-dir is set, else off)")
 	)
 	flag.Parse()
-
-	r := exp.NewRunner(exp.Config{Warmup: *warmup, Window: *window, Seed: *seed, Parallel: *par})
-	w := os.Stdout
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+
+	cfg := exp.Config{Warmup: *warmup, Window: *window, Seed: *seed, Parallel: *par}
+	cfg.SampleInterval = *sampleInt
+	if cfg.SampleInterval == 0 && *seriesDir != "" {
+		cfg.SampleInterval = metrics.DefaultSampleInterval
+	}
+	if *seriesDir != "" {
+		if err := os.MkdirAll(*seriesDir, 0o755); err != nil {
+			fail(err)
+		}
+		cfg.SeriesDir = *seriesDir
+	}
+	var prog *telemetry.Progress
+	if *serveAddr != "" {
+		prog = telemetry.NewProgress(1)
+		cfg.Progress = prog
+		srv, err := telemetry.Start(telemetry.Config{Addr: *serveAddr, Progress: prog})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: status server on %s\n", srv.URL())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+	}
+
+	r := exp.NewRunner(cfg)
+	w := os.Stdout
 
 	// timed runs one figure's driver and appends a wall-clock /
 	// simulated-throughput line. Memoized runs shared between figures are
@@ -42,8 +81,14 @@ func main() {
 	timed := func(name string, fn func() error) {
 		start := time.Now()
 		before := r.SimulatedCycles()
+		if prog != nil {
+			prog.Start(name)
+		}
 		if err := fn(); err != nil {
 			fail(err)
+		}
+		if prog != nil {
+			prog.Finish(name)
 		}
 		elapsed := time.Since(start)
 		cycles := r.SimulatedCycles() - before

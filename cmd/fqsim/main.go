@@ -6,44 +6,59 @@
 //
 //	fqsim -workload art,vpr -policy FQ-VFTF [-shares 3/4,1/4]
 //	      [-warmup N] [-window N] [-scale K] [-seed N] [-list]
-//	      [-trace out.json] [-metrics out.json]
+//	      [-trace out.json] [-metrics-out out.json]
+//	      [-sample-interval N] [-series-out out.json]
+//	      [-serve addr] [-serve-for dur]
 //
 // -trace streams a Chrome trace-event timeline (open in about://tracing
-// or Perfetto) of every SDRAM command and request lifetime; -metrics
+// or Perfetto) of every SDRAM command and request lifetime; -metrics-out
 // dumps the full metrics registry (counters, gauges, latency histograms
-// with p50/p95/p99) as JSON. Both are purely observational: simulation
-// results are bit-identical with or without them.
+// with p50/p95/p99) as JSON. -sample-interval snapshots the registry on
+// epoch boundaries; -series-out writes that time series (plus the
+// per-thread fairness series) as JSON, and -serve exposes it live over
+// HTTP (Prometheus /metrics, JSON /series and /fairness, /progress,
+// pprof) while the simulation runs. All of it is purely observational:
+// simulation results are bit-identical with or without it.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/memctrl"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "art,vpr", "comma-separated benchmark names (one per core)")
-		policy   = flag.String("policy", "FQ-VFTF", "scheduler: FCFS, FR-FCFS, FR-VFTF, FQ-VFTF, FR-VSTF")
-		shares   = flag.String("shares", "", "comma-separated per-thread shares like 1/2,1/2 (default: equal)")
-		warmup   = flag.Int64("warmup", 50_000, "warmup cycles")
-		window   = flag.Int64("window", 400_000, "measurement cycles")
-		scale    = flag.Int("scale", 1, "time scale the DRAM (private virtual-time baseline)")
-		seed     = flag.Uint64("seed", 0, "trace generator seed")
-		list     = flag.Bool("list", false, "list available benchmarks and exit")
-		asJSON   = flag.Bool("json", false, "emit results as JSON")
-		auditOn  = flag.Bool("audit", false, "run the invariant auditor (panic on any violation)")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event timeline to this file")
-		metaOut  = flag.String("metrics", "", "write a JSON metrics dump to this file")
+		workload  = flag.String("workload", "art,vpr", "comma-separated benchmark names (one per core)")
+		policy    = flag.String("policy", "FQ-VFTF", "scheduler: FCFS, FR-FCFS, FR-VFTF, FQ-VFTF, FR-VSTF")
+		shares    = flag.String("shares", "", "comma-separated per-thread shares like 1/2,1/2 (default: equal)")
+		warmup    = flag.Int64("warmup", 50_000, "warmup cycles")
+		window    = flag.Int64("window", 400_000, "measurement cycles")
+		scale     = flag.Int("scale", 1, "time scale the DRAM (private virtual-time baseline)")
+		seed      = flag.Uint64("seed", 0, "trace generator seed")
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+		asJSON    = flag.Bool("json", false, "emit results as JSON")
+		auditOn   = flag.Bool("audit", false, "run the invariant auditor (panic on any violation)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event timeline to this file")
+		metaOut   = flag.String("metrics", "", "alias of -metrics-out (kept for compatibility)")
+		metaOut2  = flag.String("metrics-out", "", "write a JSON metrics dump to this file")
+		sampleInt = flag.Int64("sample-interval", 0, "epoch sampling interval in cycles (0 = auto: 10000 when -serve or -series-out is used, else off)")
+		seriesOut = flag.String("series-out", "", "write the epoch time series (metrics + fairness) as JSON to this file")
+		serveAddr = flag.String("serve", "", "serve live status over HTTP on this address while the simulation runs (e.g. 127.0.0.1:9300)")
+		serveFor  = flag.Duration("serve-for", 0, "keep the status server up this long after the run finishes")
 	)
 	flag.Parse()
 
@@ -58,6 +73,13 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "fqsim:", err)
 		os.Exit(1)
+	}
+
+	if *metaOut != "" && *metaOut2 != "" && *metaOut != *metaOut2 {
+		fail(fmt.Errorf("-metrics and -metrics-out name different files"))
+	}
+	if *metaOut2 != "" {
+		*metaOut = *metaOut2
 	}
 
 	names := strings.Split(*workload, ",")
@@ -95,6 +117,11 @@ func main() {
 		}
 	}
 
+	cfg.SampleInterval = *sampleInt
+	if cfg.SampleInterval == 0 && (*serveAddr != "" || *seriesOut != "") {
+		cfg.SampleInterval = metrics.DefaultSampleInterval
+	}
+
 	var reg *metrics.Registry
 	if *metaOut != "" {
 		reg = metrics.New()
@@ -118,9 +145,51 @@ func main() {
 		cfg.Trace = tw
 	}
 
-	res, err := sim.Run(cfg, *warmup, *window)
+	s, err := sim.New(cfg)
 	if err != nil {
 		fail(err)
+	}
+	var prog *telemetry.Progress
+	var srv *telemetry.Server
+	if *serveAddr != "" {
+		prog = telemetry.NewProgress(1)
+		prog.Start(*workload)
+		srv, err = telemetry.Start(telemetry.Config{
+			Addr:     *serveAddr,
+			Sampler:  s.Sampler(),
+			Fairness: s.Fairness(),
+			Progress: prog,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fqsim: status server on %s\n", srv.URL())
+	}
+
+	// Stepping in chunks keeps the progress endpoint's cycle counter
+	// live during long runs; the chunking itself cannot change results
+	// (Step(n) twice is Step(2n)).
+	step := func(total int64) {
+		const chunk = 100_000
+		for done := int64(0); done < total; {
+			n := int64(chunk)
+			if rem := total - done; rem < n {
+				n = rem
+			}
+			s.Step(n)
+			done += n
+			if prog != nil {
+				prog.AddCycles(n)
+			}
+		}
+	}
+	step(*warmup)
+	s.BeginMeasurement()
+	step(*window)
+	s.FinishAudit()
+	res := s.Results()
+	if prog != nil {
+		prog.Finish(*workload)
 	}
 
 	if tw != nil {
@@ -141,6 +210,11 @@ func main() {
 			fail(fmt.Errorf("metrics: %w", err))
 		}
 	}
+	if *seriesOut != "" {
+		if err := writeSeriesFile(*seriesOut, s); err != nil {
+			fail(fmt.Errorf("series: %w", err))
+		}
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -148,17 +222,60 @@ func main() {
 		if err := enc.Encode(res); err != nil {
 			fail(err)
 		}
-		return
+	} else {
+		fmt.Printf("policy %s, %d cores, %d measured cycles\n", res.PolicyName, len(res.Threads), res.Cycles)
+		fmt.Printf("%-10s %8s %8s %10s %10s %10s %10s %8s\n", "thread", "IPC", "busUtil", "readLat", "latP95", "latP99", "reads", "rowHit")
+		for _, t := range res.Threads {
+			fmt.Printf("%-10s %8.3f %8.3f %10.0f %10.0f %10.0f %10d %8.2f\n",
+				t.Benchmark, t.IPC, t.BusUtil, t.AvgReadLatency, t.ReadLatP95, t.ReadLatP99, t.ReadsDone, t.RowHitRate)
+		}
+		fmt.Printf("aggregate: data bus utilization %.3f, bank utilization %.3f\n",
+			res.DataBusUtil, res.BankUtil)
 	}
 
-	fmt.Printf("policy %s, %d cores, %d measured cycles\n", res.PolicyName, len(res.Threads), res.Cycles)
-	fmt.Printf("%-10s %8s %8s %10s %10s %10s %10s %8s\n", "thread", "IPC", "busUtil", "readLat", "latP95", "latP99", "reads", "rowHit")
-	for _, t := range res.Threads {
-		fmt.Printf("%-10s %8.3f %8.3f %10.0f %10.0f %10.0f %10d %8.2f\n",
-			t.Benchmark, t.IPC, t.BusUtil, t.AvgReadLatency, t.ReadLatP95, t.ReadLatP99, t.ReadsDone, t.RowHitRate)
+	if srv != nil {
+		if *serveFor > 0 {
+			fmt.Fprintf(os.Stderr, "fqsim: serving final state for %s\n", *serveFor)
+			time.Sleep(*serveFor)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fail(fmt.Errorf("server shutdown: %w", err))
+		}
 	}
-	fmt.Printf("aggregate: data bus utilization %.3f, bank utilization %.3f\n",
-		res.DataBusUtil, res.BankUtil)
+}
+
+// writeSeriesFile dumps the run's epoch time series — per-interval
+// metric deltas plus the fairness series — as one self-describing JSON
+// document.
+func writeSeriesFile(path string, s *sim.System) error {
+	var doc struct {
+		Interval int64            `json:"interval"`
+		Epochs   int64            `json:"epochs"`
+		Samples  []metrics.Sample `json:"samples"`
+		Fairness struct {
+			Summary memctrl.FairnessSummary  `json:"summary"`
+			Samples []memctrl.FairnessSample `json:"samples"`
+		} `json:"fairness"`
+	}
+	doc.Interval = s.Sampler().Interval()
+	doc.Epochs = s.Sampler().Epochs()
+	doc.Samples = s.Sampler().Samples(-1)
+	doc.Fairness.Summary = s.Fairness().Summary()
+	doc.Fairness.Samples = s.Fairness().Samples(-1)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseShare parses "num/den" or a bare integer percentage like "25".

@@ -178,6 +178,17 @@ type ShareSetter interface {
 	SetThreadShare(thread int, s Share)
 }
 
+// ThreadShare returns a thread's currently allocated share.
+func (b *vftBase) ThreadShare(thread int) Share { return b.vtms[thread].Share() }
+
+// ShareGetter is implemented by policies that know each thread's
+// allocated share phi (the VFTF family). Observers — the fairness
+// monitor — read shares through it; shareless policies like FR-FCFS
+// fall back to the paper's static equal allocation 1/N.
+type ShareGetter interface {
+	ThreadShare(thread int) Share
+}
+
 // Key returns the request's virtual finish-time: the frozen value once
 // service has begun, otherwise Equation 7 evaluated against the current
 // registers and bank state. The provisional value is cached on the

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -33,6 +34,20 @@ type Config struct {
 	// (see internal/audit); results are identical, violations panic. The
 	// FQMS_AUDIT environment variable also enables it globally.
 	Audit bool
+
+	// SampleInterval > 0 samples every run's metrics on epoch
+	// boundaries (cycles); results stay bit-identical. Required for
+	// SeriesDir.
+	SampleInterval int64
+
+	// SeriesDir, when non-empty and sampling is on, receives a
+	// .series.json and .fairness.csv per run, named by memo key.
+	SeriesDir string
+
+	// Progress, when non-nil, is credited with each run's simulated
+	// cycles (memoized recalls are not re-counted) so a status server
+	// can report sweep throughput.
+	Progress *telemetry.Progress
 }
 
 // DefaultConfig returns measurement windows long enough for stable
@@ -124,9 +139,18 @@ func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
 
 	cfg.Seed = r.cfg.Seed
 	cfg.Audit = cfg.Audit || r.cfg.Audit
-	res, err := sim.Run(cfg, r.cfg.Warmup, r.cfg.Window)
+	cfg.SampleInterval = r.cfg.SampleInterval
+	sys, res, err := sim.RunSystem(cfg, r.cfg.Warmup, r.cfg.Window)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("exp: run %s: %w", key, err)
+	}
+	if r.cfg.SampleInterval > 0 && r.cfg.SeriesDir != "" {
+		if err := writeSeries(r.cfg.SeriesDir, key, sys); err != nil {
+			return sim.Result{}, fmt.Errorf("exp: series %s: %w", key, err)
+		}
+	}
+	if r.cfg.Progress != nil {
+		r.cfg.Progress.AddCycles(r.cfg.Warmup + r.cfg.Window)
 	}
 	r.mu.Lock()
 	r.memo[key] = res

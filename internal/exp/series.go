@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/memctrl"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Time-series export: when Config.SampleInterval is set the runner
+// samples every simulation's metrics on epoch boundaries, and when
+// Config.SeriesDir is also set each run leaves two artifacts named
+// after its memo key:
+//
+//   - <key>.series.json — the full epoch series (per-interval counter
+//     deltas, gauge values, histogram-bucket deltas) plus the fairness
+//     series and its summary, self-describing for plotting tools;
+//   - <key>.fairness.csv — the fairness series flattened to one row
+//     per (epoch, thread), plot-ready like the figure CSVs.
+
+// seriesDoc is the schema of a <key>.series.json artifact.
+type seriesDoc struct {
+	Key      string           `json:"key"`
+	Interval int64            `json:"interval"`
+	Epochs   int64            `json:"epochs"`
+	Samples  []metrics.Sample `json:"samples"`
+
+	Fairness struct {
+		Summary memctrl.FairnessSummary  `json:"summary"`
+		Samples []memctrl.FairnessSample `json:"samples"`
+	} `json:"fairness"`
+}
+
+// sanitizeKey maps a memo key like "co/art+vpr/FQ-VFTF" to a filename
+// stem, replacing path separators and anything else unfriendly.
+func sanitizeKey(key string) string {
+	out := make([]byte, len(key))
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '+', c == '-', c == '_':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// writeSeries exports one finished run's time series into dir.
+func writeSeries(dir, key string, s *sim.System) error {
+	stem := filepath.Join(dir, sanitizeKey(key))
+
+	doc := seriesDoc{
+		Key:      key,
+		Interval: s.Sampler().Interval(),
+		Epochs:   s.Sampler().Epochs(),
+		Samples:  s.Sampler().Samples(-1),
+	}
+	doc.Fairness.Summary = s.Fairness().Summary()
+	doc.Fairness.Samples = s.Fairness().Samples(-1)
+
+	jf, err := os.Create(stem + ".series.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(jf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+
+	cf, err := os.Create(stem + ".fairness.csv")
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(doc.Fairness.Samples)*doc.Fairness.Summary.Threads)
+	for _, fs := range doc.Fairness.Samples {
+		for t := range fs.Service {
+			rows = append(rows, []string{
+				strconv.FormatInt(fs.Epoch, 10), strconv.FormatInt(fs.Cycle, 10),
+				strconv.Itoa(t), strconv.FormatInt(fs.Service[t], 10),
+				f(fs.Share[t]), f(fs.Phi[t]), f(fs.Excess[t]),
+				strconv.FormatBool(fs.Backlogged[t]), f(fs.CumShortfall[t]),
+			})
+		}
+	}
+	err = writeCSV(cf, []string{
+		"epoch", "cycle", "thread", "service", "share", "phi", "excess", "backlogged", "cum_shortfall",
+	}, rows)
+	if cerr := cf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("exp: fairness csv %s: %w", key, err)
+	}
+	return nil
+}

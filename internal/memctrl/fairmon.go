@@ -1,0 +1,263 @@
+package memctrl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// The fairness-over-time monitor makes the paper's central claim
+// observable as a time series rather than an end-of-run average:
+// FQ-VFTF bounds how far each thread's received service can drift from
+// its allocated share phi_i at every point in time, while FR-FCFS lets
+// a bandwidth hog starve its neighbors for arbitrarily long stretches
+// (Section 3, Figures 5/6). On each epoch boundary the monitor reads
+// the controller's per-thread data-bus service counters, differences
+// them against the previous boundary, and scores the epoch:
+//
+//   - share_i   = service_i / total service delivered this epoch
+//   - excess_i  = service_i - phi_i * total: the signed drift of the
+//     thread's service from its entitlement of what was delivered
+//   - shortfall = max(0, -excess_i) accumulated only while the thread
+//     is backlogged (has requests queued at the controller): service
+//     a demanding thread was entitled to but did not receive
+//
+// Cumulative backlogged shortfall is the monitor's QoS headline: under
+// FQ-VFTF it stays bounded (the scheduler repays any lag), under
+// FR-FCFS it grows without bound for a starved thread.
+//
+// Like the metrics registry, the monitor is write-only from the
+// simulation's point of view: Sample is called on the simulation
+// goroutine at epoch boundaries (sim.Step clamps its skip-ahead), and
+// everything concurrent readers touch is mutex-guarded.
+
+// FairnessSample is one epoch of per-thread service accounting. All
+// slices are indexed by hardware thread.
+type FairnessSample struct {
+	// Epoch is the 0-based sample index; Cycle the boundary it was
+	// taken at (the sample covers (prevCycle, Cycle]).
+	Epoch int64 `json:"epoch"`
+	Cycle int64 `json:"cycle"`
+
+	// Service is the data-bus cycles each thread consumed this epoch;
+	// Total is their sum.
+	Service []int64 `json:"service"`
+	Total   int64   `json:"total"`
+
+	// Share is Service/Total (0 when the epoch delivered nothing);
+	// Phi the allocated share at the boundary.
+	Share []float64 `json:"share"`
+	Phi   []float64 `json:"phi"`
+
+	// Excess is Service - Phi*Total: positive when the thread consumed
+	// beyond its entitlement of the delivered service (using slack),
+	// negative when it fell short.
+	Excess []float64 `json:"excess"`
+
+	// Backlogged reports whether the thread had requests queued at the
+	// controller at the boundary — a shortfall only counts against the
+	// scheduler when the thread actually demanded service.
+	Backlogged []bool `json:"backlogged"`
+
+	// CumShortfall is the running sum of backlogged shortfalls up to
+	// and including this epoch, in data-bus cycles.
+	CumShortfall []float64 `json:"cum_shortfall"`
+}
+
+// FairnessSummary is the monitor's end-of-run digest.
+type FairnessSummary struct {
+	Epochs   int64 `json:"epochs"`
+	Interval int64 `json:"interval"`
+	Threads  int   `json:"threads"`
+
+	// CumShortfall is each thread's total backlogged shortfall;
+	// MaxEpochShortfall the worst single backlogged epoch. Both in
+	// data-bus cycles.
+	CumShortfall      []float64 `json:"cum_shortfall"`
+	MaxEpochShortfall []float64 `json:"max_epoch_shortfall"`
+
+	// MaxAbsExcess is the largest single-epoch |excess| per thread,
+	// backlogged or not.
+	MaxAbsExcess []float64 `json:"max_abs_excess"`
+}
+
+// FairnessMonitor tracks per-thread service share against phi over
+// epoch windows. Construct with NewFairnessMonitor, drive with Sample.
+type FairnessMonitor struct {
+	ctrl     *Controller
+	interval int64
+	nextAt   int64
+
+	prevService []int64
+
+	// Running per-thread aggregates, owned by the sampling goroutine
+	// but read (under mu) by Summary.
+	cumShort     []float64
+	maxEpochShrt []float64
+	maxAbsExcess []float64
+
+	// lastExcess/lastShort are int64-rounded views of the most recent
+	// epoch for Func gauges registered in a metrics registry.
+	lastExcess []int64
+
+	mu     sync.Mutex
+	ring   []FairnessSample
+	start  int
+	count  int
+	epochs int64
+}
+
+// NewFairnessMonitor returns a monitor over the controller's threads.
+// interval <= 0 selects metrics.DefaultSampleInterval, capacity <= 0
+// metrics.DefaultSampleCapacity.
+func NewFairnessMonitor(c *Controller, interval int64, capacity int) *FairnessMonitor {
+	if interval <= 0 {
+		interval = metrics.DefaultSampleInterval
+	}
+	if capacity <= 0 {
+		capacity = metrics.DefaultSampleCapacity
+	}
+	n := c.Threads()
+	return &FairnessMonitor{
+		ctrl:         c,
+		interval:     interval,
+		nextAt:       interval,
+		prevService:  make([]int64, n),
+		cumShort:     make([]float64, n),
+		maxEpochShrt: make([]float64, n),
+		maxAbsExcess: make([]float64, n),
+		lastExcess:   make([]int64, n),
+		ring:         make([]FairnessSample, 0, capacity),
+	}
+}
+
+// Interval returns the epoch length in cycles.
+func (m *FairnessMonitor) Interval() int64 { return m.interval }
+
+// NextSampleAt returns the next epoch boundary.
+func (m *FairnessMonitor) NextSampleAt() int64 { return m.nextAt }
+
+// phi returns thread t's allocated share: live from the policy when it
+// exposes shares (so runtime SetShare reassignments are tracked), else
+// the static equal allocation.
+func (m *FairnessMonitor) phi(t int) float64 {
+	if sg, ok := m.ctrl.Policy().(core.ShareGetter); ok {
+		return sg.ThreadShare(t).Float()
+	}
+	return 1 / float64(m.ctrl.Threads())
+}
+
+// Sample scores the epoch ending at cycle now. Call on the simulation
+// goroutine only.
+func (m *FairnessMonitor) Sample(now int64) {
+	n := m.ctrl.Threads()
+	sm := FairnessSample{
+		Cycle:        now,
+		Service:      make([]int64, n),
+		Share:        make([]float64, n),
+		Phi:          make([]float64, n),
+		Excess:       make([]float64, n),
+		Backlogged:   make([]bool, n),
+		CumShortfall: make([]float64, n),
+	}
+	for t := 0; t < n; t++ {
+		svc := m.ctrl.Stats(t).DataBusCycles
+		sm.Service[t] = svc - m.prevService[t]
+		m.prevService[t] = svc
+		sm.Total += sm.Service[t]
+		sm.Phi[t] = m.phi(t)
+		r, w := m.ctrl.Occupancy(t)
+		sm.Backlogged[t] = r+w > 0
+	}
+	for m.nextAt <= now {
+		m.nextAt += m.interval
+	}
+
+	// Scoring mutates the running aggregates Summary reads, so it
+	// happens under the lock.
+	m.mu.Lock()
+	for t := 0; t < n; t++ {
+		if sm.Total > 0 {
+			sm.Share[t] = float64(sm.Service[t]) / float64(sm.Total)
+		}
+		sm.Excess[t] = float64(sm.Service[t]) - sm.Phi[t]*float64(sm.Total)
+		m.lastExcess[t] = int64(sm.Excess[t])
+		if ae := sm.Excess[t]; ae < 0 {
+			ae = -ae
+			if ae > m.maxAbsExcess[t] {
+				m.maxAbsExcess[t] = ae
+			}
+		} else if ae > m.maxAbsExcess[t] {
+			m.maxAbsExcess[t] = ae
+		}
+		if sm.Backlogged[t] && sm.Excess[t] < 0 {
+			short := -sm.Excess[t]
+			m.cumShort[t] += short
+			if short > m.maxEpochShrt[t] {
+				m.maxEpochShrt[t] = short
+			}
+		}
+		sm.CumShortfall[t] = m.cumShort[t]
+	}
+	sm.Epoch = m.epochs
+	m.epochs++
+	if len(m.ring) < cap(m.ring) {
+		m.ring = append(m.ring, sm)
+	} else {
+		m.ring[m.start] = sm
+		m.start = (m.start + 1) % len(m.ring)
+	}
+	m.count = len(m.ring)
+	m.mu.Unlock()
+}
+
+// Samples returns the retained epochs at boundary cycles strictly
+// greater than sinceCycle, oldest first (negative = all). The result
+// is a copy, safe to use while sampling continues.
+func (m *FairnessMonitor) Samples(sinceCycle int64) []FairnessSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]FairnessSample, 0, m.count)
+	for i := 0; i < m.count; i++ {
+		sm := m.ring[(m.start+i)%len(m.ring)]
+		if sm.Cycle > sinceCycle {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// Summary returns the end-of-run digest. Safe to call concurrently
+// with sampling: the aggregates are mutated and read under the lock.
+func (m *FairnessMonitor) Summary() FairnessSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.cumShort)
+	s := FairnessSummary{
+		Epochs:            m.epochs,
+		Interval:          m.interval,
+		Threads:           n,
+		CumShortfall:      append([]float64(nil), m.cumShort...),
+		MaxEpochShortfall: append([]float64(nil), m.maxEpochShrt...),
+		MaxAbsExcess:      append([]float64(nil), m.maxAbsExcess...),
+	}
+	return s
+}
+
+// RegisterMetrics mirrors the monitor's running aggregates into a
+// metrics registry as Func gauges, so the Prometheus exposition and
+// the epoch sampler carry the fairness series alongside everything
+// else. The Funcs read state owned by the sampling goroutine and are
+// evaluated only at snapshot time on that same goroutine (the
+// sampler's contract).
+func (m *FairnessMonitor) RegisterMetrics(reg *metrics.Registry) {
+	for t := 0; t < len(m.cumShort); t++ {
+		t := t
+		reg.Func(fmt.Sprintf("fairness.thread%d.cum_shortfall", t),
+			func() int64 { return int64(m.cumShort[t]) })
+		reg.Func(fmt.Sprintf("fairness.thread%d.last_excess", t),
+			func() int64 { return m.lastExcess[t] })
+	}
+}

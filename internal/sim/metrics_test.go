@@ -31,7 +31,8 @@ func TestMetricsEquivalence(t *testing.T) {
 		res Result
 		fp  controllerFingerprint
 	}
-	run := func(strict, instrumented bool) (outcome, *metrics.Registry, *bytes.Buffer, int64) {
+	const sampleInterval = 10_000
+	run := func(strict, instrumented, sampled bool) (outcome, *metrics.Registry, *bytes.Buffer, int64, *System) {
 		cfg := Config{
 			Workload: []trace.Profile{art, vpr},
 			Policy:   FQVFTF,
@@ -47,6 +48,9 @@ func TestMetricsEquivalence(t *testing.T) {
 			tw = metrics.NewTraceWriter(buf)
 			cfg.Metrics = reg
 			cfg.Trace = tw
+		}
+		if sampled {
+			cfg.SampleInterval = sampleInterval
 		}
 		s, err := New(cfg)
 		if err != nil {
@@ -69,12 +73,13 @@ func TestMetricsEquivalence(t *testing.T) {
 				t.Fatalf("trace close: %v", err)
 			}
 		}
-		return outcome{res: s.Results(), fp: fp}, reg, buf, readsDone
+		return outcome{res: s.Results(), fp: fp}, reg, buf, readsDone, s
 	}
 
-	base, _, _, _ := run(false, false)
-	inst, reg, buf, readsDone := run(false, true)
-	strictInst, _, _, _ := run(true, true)
+	base, _, _, _, _ := run(false, false, false)
+	inst, reg, buf, readsDone, _ := run(false, true, false)
+	strictInst, _, _, _, _ := run(true, true, false)
+	sampledOut, _, _, _, sampledSys := run(false, true, true)
 
 	if !reflect.DeepEqual(base.res, inst.res) {
 		t.Errorf("metrics+trace changed the Result:\n off: %+v\n on:  %+v", base.res, inst.res)
@@ -85,6 +90,60 @@ func TestMetricsEquivalence(t *testing.T) {
 	if !reflect.DeepEqual(base.res, strictInst.res) || base.fp != strictInst.fp {
 		t.Errorf("instrumented strict run diverges:\n off:    %+v %+v\n strict: %+v %+v",
 			base.res, base.fp, strictInst.res, strictInst.fp)
+	}
+	if !reflect.DeepEqual(base.res, sampledOut.res) || base.fp != sampledOut.fp {
+		t.Errorf("epoch-sampled run diverges:\n off:     %+v %+v\n sampled: %+v %+v",
+			base.res, base.fp, sampledOut.res, sampledOut.fp)
+	}
+
+	// The sampled run's time series must be internally consistent:
+	// every sample on an exact epoch boundary, one sample per boundary
+	// plus the cycle-0 baseline, and counter deltas summing to the
+	// cumulative totals.
+	samples := sampledSys.Sampler().Samples(-1)
+	wantSamples := int((warmup+window)/sampleInterval) + 1
+	if len(samples) != wantSamples {
+		t.Fatalf("sampler retained %d samples, want %d", len(samples), wantSamples)
+	}
+	var invSum int64
+	for i, sm := range samples {
+		if sm.Cycle%sampleInterval != 0 {
+			t.Errorf("sample %d at cycle %d: not an epoch boundary", i, sm.Cycle)
+		}
+		if sm.Cycle != int64(i)*sampleInterval {
+			t.Errorf("sample %d at cycle %d, want %d", i, sm.Cycle, int64(i)*sampleInterval)
+		}
+		invSum += sm.Counters["memctrl.fq.inversions"]
+	}
+	last := samples[len(samples)-1]
+	if got := last.Gauges["sim.cycle"]; got != warmup+window {
+		t.Errorf("last sample sim.cycle = %d, want %d", got, warmup+window)
+	}
+	snapSampled, ok := sampledSys.Sampler().Latest()
+	if !ok {
+		t.Fatal("sampler has no published snapshot")
+	}
+	if invSum != snapSampled.Counters["memctrl.fq.inversions"] {
+		t.Errorf("inversion deltas sum to %d, cumulative is %d",
+			invSum, snapSampled.Counters["memctrl.fq.inversions"])
+	}
+	// The fairness series rides the same epoch clock and conserves
+	// service: per-epoch service deltas sum to each thread's total
+	// data-bus cycles.
+	fair := sampledSys.Fairness().Samples(-1)
+	if len(fair) != wantSamples {
+		t.Fatalf("fairness monitor retained %d samples, want %d", len(fair), wantSamples)
+	}
+	var svc [2]int64
+	for _, fs := range fair {
+		for tdx := 0; tdx < 2; tdx++ {
+			svc[tdx] += fs.Service[tdx]
+		}
+	}
+	for tdx := 0; tdx < 2; tdx++ {
+		if got := sampledSys.Controller().Stats(tdx).DataBusCycles; svc[tdx] != got {
+			t.Errorf("thread %d fairness service sums to %d, controller charged %d", tdx, svc[tdx], got)
+		}
 	}
 
 	// The instrumented run's registry must agree with the simulation's

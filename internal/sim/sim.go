@@ -117,6 +117,21 @@ type Config struct {
 	// timeline of SDRAM commands and request lifetimes. Purely
 	// observational, like Metrics.
 	Trace *metrics.TraceWriter
+
+	// SampleInterval > 0 enables epoch telemetry: a metrics.Sampler
+	// snapshots the registry every SampleInterval cycles (per-epoch
+	// counter and histogram deltas in a bounded ring) and a
+	// memctrl.FairnessMonitor scores each thread's service share
+	// against its phi. Samples land on exact interval multiples: the
+	// event-driven skip-ahead clamps to the next boundary instead of
+	// re-running per-cycle work. A registry is created automatically
+	// when Metrics is nil. Purely observational: results are
+	// bit-identical with sampling on or off.
+	SampleInterval int64
+
+	// SampleCapacity bounds the retained epochs per series (0 selects
+	// metrics.DefaultSampleCapacity).
+	SampleCapacity int
 }
 
 // withDefaults fills zero-valued fields with Table 5 defaults.
@@ -195,6 +210,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Audit {
 		c.Mem.Audit = true
 	}
+	if c.SampleInterval > 0 && c.Metrics == nil {
+		c.Metrics = metrics.New()
+	}
 	c.Mem.Metrics = c.Metrics
 	c.Mem.Trace = c.Trace
 	return c, nil
@@ -221,8 +239,20 @@ type System struct {
 	// (nil when Config.Metrics is unset).
 	latHist []*metrics.Histogram
 
+	// Epoch telemetry (nil/noEpoch when Config.SampleInterval is 0):
+	// sampler and fair are sampled when the cycle counter crosses
+	// epochNext, and nextWake clamps skip-ahead jumps to that boundary
+	// so samples land on exact interval multiples.
+	sampler   *metrics.Sampler
+	fair      *memctrl.FairnessMonitor
+	epochNext int64
+
 	snap snapshot
 }
+
+// noEpoch is epochNext's "sampling disabled" sentinel; a cycle counter
+// never reaches it.
+const noEpoch = int64(1) << 62
 
 // New constructs a system.
 func New(cfg Config) (*System, error) {
@@ -272,8 +302,50 @@ func New(cfg Config) (*System, error) {
 	if cfg.Metrics != nil {
 		s.initMetrics(cfg.Metrics)
 	}
+	s.epochNext = noEpoch
+	if cfg.SampleInterval > 0 {
+		s.fair = memctrl.NewFairnessMonitor(ctrl, cfg.SampleInterval, cfg.SampleCapacity)
+		s.fair.RegisterMetrics(cfg.Metrics)
+		s.sampler = metrics.NewSampler(cfg.Metrics, metrics.SamplerConfig{
+			Interval: cfg.SampleInterval,
+			Capacity: cfg.SampleCapacity,
+		})
+		// Baseline sample at cycle 0: a live scrape has a full
+		// exposition before the first boundary, and epoch deltas sum to
+		// the cumulative totals.
+		s.fair.Sample(0)
+		s.sampler.Sample(0)
+		s.epochNext = cfg.SampleInterval
+	}
 	ctrl.SetEventDriven(!cfg.Strict)
 	return s, nil
+}
+
+// Sampler returns the epoch sampler (nil unless Config.SampleInterval
+// is set).
+func (s *System) Sampler() *metrics.Sampler { return s.sampler }
+
+// Fairness returns the fairness-over-time monitor (nil unless
+// Config.SampleInterval is set).
+func (s *System) Fairness() *memctrl.FairnessMonitor { return s.fair }
+
+// takeSamples drives every due epoch series at the current cycle and
+// recomputes the next boundary.
+func (s *System) takeSamples() {
+	now := s.cycle
+	// The fairness monitor samples first so the registry Funcs it
+	// mirrors (cumulative shortfall, last excess) are fresh when the
+	// sampler snapshots them.
+	if now >= s.fair.NextSampleAt() {
+		s.fair.Sample(now)
+	}
+	if now >= s.sampler.NextSampleAt() {
+		s.sampler.Sample(now)
+	}
+	s.epochNext = s.fair.NextSampleAt()
+	if next := s.sampler.NextSampleAt(); next < s.epochNext {
+		s.epochNext = next
+	}
 }
 
 // fixedReadLatency is the deterministic part of an end-to-end read: L1
@@ -405,10 +477,16 @@ func (s *System) Step(n int64) {
 					c.CreditStall(wake - now - 1)
 				}
 				s.cycle = wake
+				if s.cycle >= s.epochNext {
+					s.takeSamples()
+				}
 				continue
 			}
 		}
 		s.cycle++
+		if s.cycle >= s.epochNext {
+			s.takeSamples()
+		}
 	}
 }
 
@@ -457,6 +535,12 @@ func (s *System) nextWake(now, end int64) int64 {
 	}
 	if w := s.ctrl.NextEventAt(); w < wake {
 		wake = w
+	}
+	// Telemetry epoch boundary: stop the jump there so samples land on
+	// exact interval multiples. Waking early is always safe; sampling
+	// reads state without changing it.
+	if s.epochNext < wake {
+		wake = s.epochNext
 	}
 	if wake < now+1 {
 		return now + 1
@@ -609,13 +693,21 @@ func (s *System) BeginMeasurementAtZero() {
 // Run is the convenience entry point: simulate warmup cycles, then
 // measure for window cycles and return the results.
 func Run(cfg Config, warmup, window int64) (Result, error) {
+	_, res, err := RunSystem(cfg, warmup, window)
+	return res, err
+}
+
+// RunSystem is Run returning the simulated System as well, for callers
+// that need post-run access to its telemetry (epoch samples, the
+// fairness monitor, the metrics registry).
+func RunSystem(cfg Config, warmup, window int64) (*System, Result, error) {
 	s, err := New(cfg)
 	if err != nil {
-		return Result{}, err
+		return nil, Result{}, err
 	}
 	s.Step(warmup)
 	s.BeginMeasurement()
 	s.Step(window)
 	s.FinishAudit()
-	return s.Results(), nil
+	return s, s.Results(), nil
 }

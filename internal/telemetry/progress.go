@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress tracks a sweep's position for the status server: how many
+// units (figures, runs) are done, which one is in flight, and the
+// aggregate simulated-cycle throughput. All methods are safe for
+// concurrent use; the sweep goroutines write, HTTP handlers read.
+type Progress struct {
+	mu      sync.Mutex
+	total   int
+	done    int
+	current string
+	cycles  int64
+	started time.Time
+}
+
+// NewProgress returns a tracker expecting total units of work (0 when
+// the total is unknown up front). The throughput clock starts now.
+func NewProgress(total int) *Progress {
+	return &Progress{total: total, started: time.Now()}
+}
+
+// Start records that the named unit is now in flight.
+func (p *Progress) Start(name string) {
+	p.mu.Lock()
+	p.current = name
+	p.mu.Unlock()
+}
+
+// Finish records one completed unit; the current marker clears if it
+// still names that unit.
+func (p *Progress) Finish(name string) {
+	p.mu.Lock()
+	p.done++
+	if p.current == name {
+		p.current = ""
+	}
+	p.mu.Unlock()
+}
+
+// AddCycles credits n simulated cycles toward the throughput figure.
+func (p *Progress) AddCycles(n int64) {
+	p.mu.Lock()
+	p.cycles += n
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is a point-in-time view for /progress and the
+// progress gauges on /metrics.
+type ProgressSnapshot struct {
+	Total   int    `json:"total"`
+	Done    int    `json:"done"`
+	Current string `json:"current,omitempty"`
+
+	// SimCycles is the cumulative simulated cycles across all units;
+	// CyclesPerSec divides it by wall-clock elapsed seconds.
+	SimCycles    int64   `json:"sim_cycles"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// Snapshot returns the current state.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Total:      p.total,
+		Done:       p.done,
+		Current:    p.current,
+		SimCycles:  p.cycles,
+		ElapsedSec: time.Since(p.started).Seconds(),
+	}
+	if s.ElapsedSec > 0 {
+		s.CyclesPerSec = float64(s.SimCycles) / s.ElapsedSec
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"memctrl.fq.inversions":      "fqms_memctrl_fq_inversions",
+		"dram.chan0.bank3.activates": "fqms_dram_chan0_bank3_activates",
+		"a.b-c/d e%f":                "fqms_a_b_c_d_e_f",
+		"already_fine:name":          "fqms_already_fine:name",
+		"UPPER.Case9":                "fqms_UPPER_Case9",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusExposition checks the exposition against a registry
+// with known contents: counters get the _total suffix and a counter
+// TYPE line, gauges a gauge TYPE line, and histograms cumulative
+// le-buckets whose final +Inf bucket equals _count.
+func TestPrometheusExposition(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("memctrl.fq.inversions").Add(7)
+	reg.Gauge("sim.cycle").Set(42)
+	reg.Func("fairness.thread0.cum_shortfall", func() int64 { return 13 })
+	h := reg.Histogram("sim.thread0.read_latency")
+	// Observations 0,1,3,3,8 land in log2 buckets with right edges
+	// 0 (x1), 2 (x1), 4 (x2), 16 (x1): cumulative 1,2,4,5.
+	for _, v := range []int64{0, 1, 3, 3, 8} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	wantLines := []string{
+		"# TYPE fqms_memctrl_fq_inversions_total counter",
+		"fqms_memctrl_fq_inversions_total 7",
+		"# TYPE fqms_sim_cycle gauge",
+		"fqms_sim_cycle 42",
+		"# TYPE fqms_fairness_thread0_cum_shortfall gauge",
+		"fqms_fairness_thread0_cum_shortfall 13",
+		"# TYPE fqms_sim_thread0_read_latency histogram",
+		`fqms_sim_thread0_read_latency_bucket{le="0"} 1`,
+		`fqms_sim_thread0_read_latency_bucket{le="2"} 2`,
+		`fqms_sim_thread0_read_latency_bucket{le="4"} 4`,
+		`fqms_sim_thread0_read_latency_bucket{le="16"} 5`,
+		`fqms_sim_thread0_read_latency_bucket{le="+Inf"} 5`,
+		"fqms_sim_thread0_read_latency_sum 15",
+		"fqms_sim_thread0_read_latency_count 5",
+	}
+	lines := make(map[string]bool)
+	for _, ln := range strings.Split(out, "\n") {
+		lines[ln] = true
+	}
+	for _, want := range wantLines {
+		if !lines[want] {
+			t.Errorf("exposition missing line %q\nfull output:\n%s", want, out)
+		}
+	}
+
+	// Cumulative bucket counts must be non-decreasing within a family
+	// (the defining property Prometheus clients rely on).
+	var prev int64 = -1
+	for _, ln := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(ln, "fqms_sim_thread0_read_latency_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(ln[strings.LastIndexByte(ln, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts decreased: %q after %d", ln, prev)
+		}
+		prev = v
+	}
+
+	// Every family name is a valid Prometheus identifier.
+	for _, ln := range strings.Split(out, "\n") {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		name := ln[:strings.IndexAny(ln, "{ ")]
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':'
+			if !ok {
+				t.Errorf("invalid character %q in metric name %q", c, name)
+			}
+		}
+	}
+}
+
+// TestPrometheusEmptySnapshot: a zero snapshot (no sampler attached
+// yet) renders to an empty, valid exposition rather than panicking.
+func TestPrometheusEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, metrics.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty snapshot produced output: %q", buf.String())
+	}
+}
