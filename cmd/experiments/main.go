@@ -7,11 +7,18 @@
 //
 //	experiments [-fig 1|4|5|6|7|8|9|all] [-warmup N] [-window N] [-seed N]
 //	            [-serve addr] [-series-dir dir] [-sample-interval N]
+//	            [-checkpoint-dir dir] [-checkpoint-every N] [-resume]
 //
 // -serve exposes sweep progress (figures done, simulated cycles per
 // second) and, once runs sample, the usual telemetry endpoints over
 // HTTP while the sweep executes. -series-dir makes every simulation
 // leave a .series.json and .fairness.csv time-series artifact.
+//
+// -checkpoint-dir makes every simulation periodically checkpoint its
+// full state (and persist its result on completion) into the named
+// directory; if the sweep is killed, rerunning it with -resume picks
+// each run up from its last checkpoint — or recalls it outright if it
+// had finished — and produces bit-identical tables and artifacts.
 package main
 
 import (
@@ -36,6 +43,9 @@ func main() {
 		serveAddr = flag.String("serve", "", "serve sweep progress over HTTP on this address (e.g. 127.0.0.1:9300)")
 		seriesDir = flag.String("series-dir", "", "write per-run time-series artifacts into this directory")
 		sampleInt = flag.Int64("sample-interval", 0, "epoch sampling interval in cycles (0 = auto: 10000 when -series-dir is set, else off)")
+		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint every run's state into this directory")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "cycles between checkpoints (0 = default when -checkpoint-dir is set)")
+		resume    = flag.Bool("resume", false, "resume each run from its checkpoint (or recall its persisted result) in -checkpoint-dir")
 	)
 	flag.Parse()
 
@@ -55,6 +65,15 @@ func main() {
 		}
 		cfg.SeriesDir = *seriesDir
 	}
+	if *resume && *ckptDir == "" {
+		fail(fmt.Errorf("-resume needs -checkpoint-dir"))
+	}
+	if *ckptEvery != 0 && *ckptDir == "" {
+		fail(fmt.Errorf("-checkpoint-every needs -checkpoint-dir"))
+	}
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.Resume = *resume
 	var prog *telemetry.Progress
 	if *serveAddr != "" {
 		prog = telemetry.NewProgress(1)

@@ -9,6 +9,7 @@
 //	      [-trace out.json] [-metrics-out out.json]
 //	      [-sample-interval N] [-series-out out.json]
 //	      [-serve addr] [-serve-for dur]
+//	      [-checkpoint file] [-checkpoint-every N] [-restore file]
 //
 // -trace streams a Chrome trace-event timeline (open in about://tracing
 // or Perfetto) of every SDRAM command and request lifetime; -metrics-out
@@ -19,6 +20,12 @@
 // HTTP (Prometheus /metrics, JSON /series and /fairness, /progress,
 // pprof) while the simulation runs. All of it is purely observational:
 // simulation results are bit-identical with or without it.
+//
+// -checkpoint names a snapshot file for the complete simulator state;
+// -checkpoint-every writes it periodically, and with -serve a POST to
+// /checkpoint writes it on demand. -restore resumes a run from such a
+// file (with the same flags otherwise) and continues bit-identically to
+// the run that was interrupted.
 package main
 
 import (
@@ -59,6 +66,9 @@ func main() {
 		seriesOut = flag.String("series-out", "", "write the epoch time series (metrics + fairness) as JSON to this file")
 		serveAddr = flag.String("serve", "", "serve live status over HTTP on this address while the simulation runs (e.g. 127.0.0.1:9300)")
 		serveFor  = flag.Duration("serve-for", 0, "keep the status server up this long after the run finishes")
+		ckptPath  = flag.String("checkpoint", "", "write checkpoints of the full simulator state to this file")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "write a checkpoint every N cycles (0 = only on POST /checkpoint via -serve)")
+		restore   = flag.String("restore", "", "resume from a checkpoint file written by -checkpoint (config must match)")
 	)
 	flag.Parse()
 
@@ -77,6 +87,15 @@ func main() {
 
 	if *metaOut != "" && *metaOut2 != "" && *metaOut != *metaOut2 {
 		fail(fmt.Errorf("-metrics and -metrics-out name different files"))
+	}
+	if (*ckptPath != "" || *restore != "") && *traceOut != "" {
+		// A Chrome trace is an append-only log of everything since cycle
+		// zero; a restored run cannot recreate the events it missed, so
+		// the combination is refused rather than silently truncated.
+		fail(fmt.Errorf("-checkpoint/-restore cannot be combined with -trace"))
+	}
+	if *ckptEvery > 0 && *ckptPath == "" {
+		fail(fmt.Errorf("-checkpoint-every needs -checkpoint"))
 	}
 	if *metaOut2 != "" {
 		*metaOut = *metaOut2
@@ -145,20 +164,34 @@ func main() {
 		cfg.Trace = tw
 	}
 
-	s, err := sim.New(cfg)
-	if err != nil {
-		fail(err)
+	var s *sim.System
+	if *restore != "" {
+		s, err = sim.RestoreFile(cfg, *restore)
+		if err != nil {
+			fail(fmt.Errorf("restore: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "fqsim: restored %s at cycle %d\n", *restore, s.Cycle())
+	} else {
+		s, err = sim.New(cfg)
+		if err != nil {
+			fail(err)
+		}
 	}
 	var prog *telemetry.Progress
 	var srv *telemetry.Server
+	var trig *telemetry.CheckpointTrigger
 	if *serveAddr != "" {
 		prog = telemetry.NewProgress(1)
 		prog.Start(*workload)
+		if *ckptPath != "" {
+			trig = telemetry.NewCheckpointTrigger()
+		}
 		srv, err = telemetry.Start(telemetry.Config{
-			Addr:     *serveAddr,
-			Sampler:  s.Sampler(),
-			Fairness: s.Fairness(),
-			Progress: prog,
+			Addr:       *serveAddr,
+			Sampler:    s.Sampler(),
+			Fairness:   s.Fairness(),
+			Progress:   prog,
+			Checkpoint: trig,
 		})
 		if err != nil {
 			fail(err)
@@ -166,26 +199,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fqsim: status server on %s\n", srv.URL())
 	}
 
-	// Stepping in chunks keeps the progress endpoint's cycle counter
-	// live during long runs; the chunking itself cannot change results
-	// (Step(n) twice is Step(2n)).
-	step := func(total int64) {
+	// The run is one chunked loop over absolute cycles so that a
+	// restored run (which starts mid-flight) and a fresh run share the
+	// same path. Chunking keeps the progress endpoint live and bounds
+	// how long an on-demand checkpoint request waits; it cannot change
+	// results (Step(n) twice is Step(2n)). Chunks are clamped to the
+	// measurement boundary so BeginMeasurement always lands exactly at
+	// the warmup cycle — and therefore at the same cycle in any run of
+	// this configuration, checkpointed or not.
+	total := *warmup + *window
+	nextCkpt := int64(-1)
+	if *ckptPath != "" && *ckptEvery > 0 {
+		nextCkpt = s.Cycle() + *ckptEvery
+	}
+	writeCkpt := func() error {
+		if err := s.CheckpointFile(*ckptPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fqsim: checkpoint at cycle %d -> %s\n", s.Cycle(), *ckptPath)
+		return nil
+	}
+	for s.Cycle() < total {
 		const chunk = 100_000
-		for done := int64(0); done < total; {
-			n := int64(chunk)
-			if rem := total - done; rem < n {
-				n = rem
-			}
+		next := s.Cycle() + chunk
+		if !s.MeasurementStarted() && next > *warmup {
+			next = *warmup
+		}
+		if nextCkpt > 0 && next > nextCkpt {
+			next = nextCkpt
+		}
+		if next > total {
+			next = total
+		}
+		if n := next - s.Cycle(); n > 0 {
 			s.Step(n)
-			done += n
 			if prog != nil {
 				prog.AddCycles(n)
 			}
 		}
+		if !s.MeasurementStarted() && s.Cycle() >= *warmup {
+			s.BeginMeasurement()
+		}
+		if nextCkpt > 0 && s.Cycle() >= nextCkpt {
+			if err := writeCkpt(); err != nil {
+				fail(fmt.Errorf("checkpoint: %w", err))
+			}
+			nextCkpt = s.Cycle() + *ckptEvery
+		}
+		if trig != nil {
+			trig.Poll(writeCkpt)
+		}
 	}
-	step(*warmup)
-	s.BeginMeasurement()
-	step(*window)
 	s.FinishAudit()
 	res := s.Results()
 	if prog != nil {

@@ -1,0 +1,265 @@
+package audit
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// maxHistWhat caps decoded history-entry labels (they are short
+// command mnemonics like "ACT" or "accept").
+const maxHistWhat = 64
+
+// SaveState serializes the auditor: the shadow device model, the
+// conservation/starvation ledgers, the frozen-key map, and the command
+// history ring. The pending mirror is not written — it aliases the
+// controller's live request pointers and is rebuilt from the restored
+// queues on load. preBankR/preChanR are transient within a single
+// command issue and checkpoints land between cycles, so they are not
+// written either.
+func (a *Auditor) SaveState(w *snapshot.Writer) {
+	w.Section("audit.Auditor")
+	w.Int(len(a.banks))
+	for i := range a.banks {
+		b := &a.banks[i]
+		w.Bool(b.open)
+		w.Int(b.row)
+		w.I64(b.lastAct)
+		w.I64(b.lastRead)
+		w.I64(b.lastWrite)
+		w.I64(b.lastPre)
+		w.I64(b.writeEnd)
+	}
+	w.Int(len(a.chans))
+	for i := range a.chans {
+		sc := &a.chans[i]
+		w.I64(sc.lastCAS)
+		w.I64(sc.lastWriteEnd)
+		w.I64(sc.busFreeAt)
+		w.I64(sc.refreshUntil)
+		w.I64(sc.lastRefresh)
+		w.I64(sc.lastCmd)
+		w.I64s(sc.rankLastAct)
+		w.Int(len(sc.rankActHist))
+		for _, h := range sc.rankActHist {
+			for _, t := range h {
+				w.I64(t)
+			}
+		}
+		w.Ints(sc.rankActN)
+	}
+	w.U64(a.lastID)
+	w.I64(a.lastArrival)
+	// Outstanding-request ledger, in FIFO order. Entries are (id, done);
+	// the request pointer of a live entry is re-linked by ID on load.
+	live := a.fifo[a.head:]
+	w.Len(len(live))
+	for _, id := range live {
+		e := a.out[id]
+		w.U64(id)
+		w.Bool(e == nil || e.done)
+	}
+	w.Int(len(a.acc))
+	for i := range a.acc {
+		t := &a.acc[i]
+		w.I64(t.readsAcc)
+		w.I64(t.readsDone)
+		w.I64(t.writesAcc)
+		w.I64(t.writesDone)
+	}
+	ids := make([]uint64, 0, len(a.frozen))
+	for id := range a.frozen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Len(len(ids))
+	for _, id := range ids {
+		w.U64(id)
+		w.I64(a.frozen[id])
+	}
+	// Command history, oldest-first so the restored ring re-serializes
+	// identically regardless of where the original wrap point was.
+	w.Int(len(a.hist))
+	w.Int(a.histLen)
+	for i := 0; i < a.histLen; i++ {
+		e := &a.hist[(a.histNext-a.histLen+i+2*len(a.hist))%len(a.hist)]
+		w.I64(e.cycle)
+		w.String(e.what)
+		w.Int(e.bank)
+		w.Int(e.row)
+		w.Int(e.thread)
+		w.U64(e.id)
+		w.I64(e.key)
+	}
+	w.I64(a.cmds)
+	w.I64(a.maxInvWindow)
+}
+
+// LoadState restores an auditor saved by SaveState. reqByID maps every
+// live request (pending or in flight) by ID so the outstanding ledger
+// can re-link its pointers; pending is the controller's restored
+// per-bank queues, which the auditor mirrors.
+func (a *Auditor) LoadState(r *snapshot.Reader, reqByID map[uint64]*core.Request, pending [][]*core.Request) error {
+	r.Section("audit.Auditor")
+	nb := r.Int()
+	if r.Err() == nil && nb != len(a.banks) {
+		r.Fail("audit.Auditor: %d banks, auditor has %d", nb, len(a.banks))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	banks := make([]shBank, nb)
+	for i := range banks {
+		b := &banks[i]
+		b.open = r.Bool()
+		b.row = r.Int()
+		b.lastAct = r.I64()
+		b.lastRead = r.I64()
+		b.lastWrite = r.I64()
+		b.lastPre = r.I64()
+		b.writeEnd = r.I64()
+	}
+	nc := r.Int()
+	if r.Err() == nil && nc != len(a.chans) {
+		r.Fail("audit.Auditor: %d channels, auditor has %d", nc, len(a.chans))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	chans := make([]shChan, nc)
+	for i := range chans {
+		sc := &chans[i]
+		ref := &a.chans[i]
+		sc.lastCAS = r.I64()
+		sc.lastWriteEnd = r.I64()
+		sc.busFreeAt = r.I64()
+		sc.refreshUntil = r.I64()
+		sc.lastRefresh = r.I64()
+		sc.lastCmd = r.I64()
+		sc.rankLastAct = r.I64s(len(ref.rankLastAct))
+		nr := r.Int()
+		if r.Err() == nil && (len(sc.rankLastAct) != len(ref.rankLastAct) || nr != len(ref.rankActHist)) {
+			r.Fail("audit.Auditor: channel %d rank state mismatch", i)
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		sc.rankActHist = make([][4]int64, nr)
+		for j := range sc.rankActHist {
+			for k := range sc.rankActHist[j] {
+				sc.rankActHist[j][k] = r.I64()
+			}
+		}
+		sc.rankActN = r.Ints(len(ref.rankActN))
+		if r.Err() == nil && len(sc.rankActN) != len(ref.rankActN) {
+			r.Fail("audit.Auditor: channel %d rankActN mismatch", i)
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	lastID := r.U64()
+	lastArrival := r.I64()
+	nOut := r.Len(snapshot.MaxSlice)
+	fifo := make([]uint64, nOut)
+	out := make(map[uint64]*outReq, nOut)
+	for i := 0; i < nOut; i++ {
+		id := r.U64()
+		done := r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if _, dup := out[id]; dup {
+			r.Fail("audit.Auditor: duplicate outstanding id %d", id)
+			return r.Err()
+		}
+		req := reqByID[id]
+		if !done && req == nil {
+			r.Fail("audit.Auditor: outstanding request %d not in any restored queue", id)
+			return r.Err()
+		}
+		fifo[i] = id
+		out[id] = &outReq{r: req, done: done}
+	}
+	nAcc := r.Int()
+	if r.Err() == nil && nAcc != len(a.acc) {
+		r.Fail("audit.Auditor: %d threads, auditor has %d", nAcc, len(a.acc))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	acc := make([]threadAcc, nAcc)
+	for i := range acc {
+		t := &acc[i]
+		t.readsAcc = r.I64()
+		t.readsDone = r.I64()
+		t.writesAcc = r.I64()
+		t.writesDone = r.I64()
+	}
+	nFrozen := r.Len(snapshot.MaxSlice)
+	frozen := make(map[uint64]int64, nFrozen)
+	for i := 0; i < nFrozen && r.Err() == nil; i++ {
+		id := r.U64()
+		frozen[id] = r.I64()
+	}
+	histCap := r.Int()
+	histLen := r.Int()
+	if r.Err() == nil && histCap != len(a.hist) {
+		r.Fail("audit.Auditor: history of %d entries, auditor has %d", histCap, len(a.hist))
+	}
+	if r.Err() == nil && (histLen < 0 || histLen > histCap) {
+		r.Fail("audit.Auditor: history length %d exceeds capacity %d", histLen, histCap)
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	hist := make([]histEntry, histCap)
+	for i := 0; i < histLen; i++ {
+		e := &hist[i]
+		e.cycle = r.I64()
+		e.what = r.String(maxHistWhat)
+		e.bank = r.Int()
+		e.row = r.Int()
+		e.thread = r.Int()
+		e.id = r.U64()
+		e.key = r.I64()
+	}
+	cmds := r.I64()
+	maxInvWindow := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	copy(a.banks, banks)
+	copy(a.chans, chans)
+	a.lastID = lastID
+	a.lastArrival = lastArrival
+	a.out = out
+	a.fifo = fifo
+	a.head = 0
+	copy(a.acc, acc)
+	a.frozen = frozen
+	a.hist = hist
+	a.histLen = histLen
+	a.histNext = 0
+	if len(hist) > 0 {
+		a.histNext = histLen % len(hist)
+	}
+	a.cmds = cmds
+	a.maxInvWindow = maxInvWindow
+	a.preBankR, a.preChanR = 0, 0
+	// The pending mirror must alias the controller's live pointers:
+	// the auditor's minimum-key and membership checks compare by
+	// pointer identity.
+	for i := range a.pend {
+		a.pend[i] = a.pend[i][:0]
+		if i < len(pending) {
+			a.pend[i] = append(a.pend[i], pending[i]...)
+		}
+	}
+	if len(pending) != len(a.pend) {
+		r.Fail("audit.Auditor: %d pending banks, auditor has %d", len(pending), len(a.pend))
+		return r.Err()
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import "repro/internal/snapshot"
+
+// PolicyState is implemented by policies with mutable internal state
+// (the VTMS-register family). Checkpointing asserts the capability at
+// run time: stateless policies (FCFS, FR-FCFS) simply do not implement
+// it and have nothing to save.
+type PolicyState interface {
+	SaveState(w *snapshot.Writer)
+	LoadState(r *snapshot.Reader) error
+}
+
+var (
+	_ PolicyState = (*FRVFTF)(nil)
+	_ PolicyState = (*FQVFTF)(nil)
+	_ PolicyState = (*FRVSTF)(nil)
+)
+
+// SaveState serializes the thread's virtual-time registers and its
+// current share (shares can be reassigned at run time, so the
+// construction-time value is not enough).
+func (v *VTMS) SaveState(w *snapshot.Writer) {
+	w.Section("core.VTMS")
+	w.Int(v.share.Num)
+	w.Int(v.share.Den)
+	w.U32(uint32(len(v.bankR)))
+	for _, t := range v.bankR {
+		w.I64(int64(t))
+	}
+	w.U32(uint32(len(v.chanR)))
+	for _, t := range v.chanR {
+		w.I64(int64(t))
+	}
+}
+
+// LoadState restores registers saved by SaveState into a VTMS
+// constructed over the same bank/channel geometry. invPhi is
+// recomputed from the restored share rather than trusted from the
+// stream.
+func (v *VTMS) LoadState(r *snapshot.Reader) error {
+	r.Section("core.VTMS")
+	share := Share{Num: r.Int(), Den: r.Int()}
+	nb := r.Len(len(v.bankR))
+	bankR := make([]VTime, nb)
+	for i := range bankR {
+		bankR[i] = VTime(r.I64())
+	}
+	nc := r.Len(len(v.chanR))
+	chanR := make([]VTime, nc)
+	for i := range chanR {
+		chanR[i] = VTime(r.I64())
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nb != len(v.bankR) || nc != len(v.chanR) {
+		r.Fail("core.VTMS: %d banks / %d channels, VTMS has %d/%d", nb, nc, len(v.bankR), len(v.chanR))
+		return r.Err()
+	}
+	if !share.Valid() {
+		r.Fail("core.VTMS: invalid share %d/%d", share.Num, share.Den)
+		return r.Err()
+	}
+	v.share = share
+	v.invPhi = share.Reciprocal()
+	copy(v.bankR, bankR)
+	copy(v.chanR, chanR)
+	return nil
+}
+
+// SaveState serializes every thread's VTMS registers. The FQ inversion
+// bound x is construction state, not mutable state, so it is not
+// written.
+func (b *vftBase) SaveState(w *snapshot.Writer) {
+	w.Section("core.vftBase")
+	w.Int(len(b.vtms))
+	for _, v := range b.vtms {
+		v.SaveState(w)
+	}
+}
+
+// LoadState restores registers saved by SaveState into a policy
+// constructed for the same thread count.
+func (b *vftBase) LoadState(r *snapshot.Reader) error {
+	r.Section("core.vftBase")
+	n := r.Int()
+	if r.Err() == nil && n != len(b.vtms) {
+		r.Fail("core.vftBase: %d threads, policy has %d", n, len(b.vtms))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for _, v := range b.vtms {
+		if err := v.LoadState(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// This file is a differential test: refVTMS re-derives the paper's
+// Equations 7-9 from scratch — exact arbitrary-precision arithmetic,
+// service times recomputed from Tables 3 and 4 directly off the timing
+// parameters, no code shared with the production fixed-point
+// implementation — and 10k random share/arrival/command sequences must
+// produce identical register trajectories and finish times. A bug in
+// the production fixed-point evaluation order, a silent overflow, or a
+// mis-transcribed table entry diverges here.
+
+// refVTMS mirrors one thread's VTMS registers in big.Int fixed point
+// (VTShift fractional bits, like the production code, so floor
+// divisions land identically by construction of the definitions).
+type refVTMS struct {
+	inv   *big.Int // floor(Den * 2^VTShift / Num)
+	bankR []*big.Int
+	chanR []*big.Int
+	t     dram.Timing
+}
+
+func newRefVTMS(share Share, nbanks, nchans int, t dram.Timing) *refVTMS {
+	r := &refVTMS{
+		bankR: make([]*big.Int, nbanks),
+		chanR: make([]*big.Int, nchans),
+		t:     t,
+	}
+	for i := range r.bankR {
+		r.bankR[i] = new(big.Int)
+	}
+	for i := range r.chanR {
+		r.chanR[i] = new(big.Int)
+	}
+	r.setShare(share)
+	return r
+}
+
+// setShare recomputes 1/phi: floor(Den << VTShift / Num), per the
+// Share.Reciprocal definition.
+func (r *refVTMS) setShare(s Share) {
+	num := big.NewInt(int64(s.Den))
+	num.Lsh(num, VTShift)
+	r.inv = num.Div(num, big.NewInt(int64(s.Num)))
+}
+
+// scale is L/phi: the physical service time stretched by the inverse
+// share, in fixed point.
+func (r *refVTMS) scale(l int) *big.Int {
+	return new(big.Int).Mul(big.NewInt(int64(l)), r.inv)
+}
+
+func fxCycles(c int64) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(c), VTShift)
+}
+
+func bigMax(a, b *big.Int) *big.Int {
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// bankService is Table 3, re-derived: the bank time a request needs
+// given the state of its bank — precharge + activate + column access
+// for a conflict, activate + column access on a closed bank, column
+// access alone on a row hit. Writes use tWL for the column phase.
+func (r *refVTMS) bankService(isWrite bool, state BankState) int {
+	col := r.t.TCL
+	if isWrite {
+		col = r.t.TWL
+	}
+	switch state {
+	case BankConflict:
+		return r.t.TRP + r.t.TRCD + col
+	case BankClosed:
+		return r.t.TRCD + col
+	default:
+		return col
+	}
+}
+
+// cmdService is Table 4, re-derived: per-command bank service. The
+// precharge entry also carries the residual bank occupancy tRAS demands
+// beyond activate + column access, so a full conflict cycle sums to
+// max(tRAS, tRCD+tCL) + tRP worth of bank time.
+func (r *refVTMS) cmdService(kind CmdKind, isWrite bool) int {
+	switch kind {
+	case CmdPrecharge:
+		return r.t.TRP + r.t.TRAS - r.t.TRCD - r.t.TCL
+	case CmdActivate:
+		return r.t.TRCD
+	default: // CAS
+		if isWrite {
+			return r.t.TWL
+		}
+		return r.t.TCL
+	}
+}
+
+// finishTime is Equation 7:
+//
+//	C.F = max{ max{a, B_j.R} + B.L/phi, C.R } + C.L/phi
+func (r *refVTMS) finishTime(arrival int64, bank, ch int, isWrite bool, state BankState) *big.Int {
+	bs := new(big.Int).Add(bigMax(fxCycles(arrival), r.bankR[bank]), r.scale(r.bankService(isWrite, state)))
+	return bs.Add(bigMax(bs, r.chanR[ch]), r.scale(r.t.BL2))
+}
+
+// onIssue applies Equations 8 and 9:
+//
+//	B_j.R = max{a, B_j.R} + Bcmd.L/phi     (every command)
+//	C.R   = max{B_j.R, C.R} + C.L/phi      (CAS only)
+func (r *refVTMS) onIssue(kind CmdKind, arrival int64, bank, ch int, isWrite bool) {
+	r.bankR[bank] = new(big.Int).Add(bigMax(fxCycles(arrival), r.bankR[bank]), r.scale(r.cmdService(kind, isWrite)))
+	if kind == CmdRead || kind == CmdWrite {
+		r.chanR[ch] = new(big.Int).Add(bigMax(r.bankR[bank], r.chanR[ch]), r.scale(r.t.BL2))
+	}
+}
+
+// eqBig asserts a production int64 fixed-point value equals the exact
+// reference — which also proves the production value never overflowed.
+func eqBig(t *testing.T, what string, event int, got VTime, want *big.Int) {
+	t.Helper()
+	if !want.IsInt64() || want.Int64() != int64(got) {
+		t.Fatalf("event %d: %s diverged: production %d, reference %s", event, what, got, want.String())
+	}
+}
+
+// TestVTMSDifferentialOracle drives the production VTMS and the
+// reference through 10k random events — command issues across banks and
+// channels with wandering arrivals, interleaved share reassignments,
+// and a finish-time probe per event — asserting exact agreement
+// throughout. Shares stress the fixed point from phi=1 down to phi=1/64.
+func TestVTMSDifferentialOracle(t *testing.T) {
+	const nbanks, nchans, events = 16, 2, 10_000
+	timing := dram.DefaultConfig().Timing
+	shareChoices := []Share{{1, 1}, {1, 2}, {2, 3}, {1, 7}, {5, 8}, {1, 64}, {63, 64}}
+	rng := &propRng{s: 2026}
+
+	start := shareChoices[rng.intn(len(shareChoices))]
+	v := NewVTMS(0, start, nbanks, timing)
+	v.SetChannels(nchans)
+	ref := newRefVTMS(start, nbanks, nchans, timing)
+
+	var clock int64
+	for i := 0; i < events; i++ {
+		clock += int64(rng.intn(300))
+		arrival := clock - int64(rng.intn(600)) + 150
+		if arrival < 0 {
+			arrival = 0
+		}
+		bank := rng.intn(nbanks)
+		ch := rng.intn(nchans)
+		state := BankState(rng.intn(3))
+		isWrite := rng.intn(3) == 0
+
+		// Probe Equation 7 before any mutation.
+		got := v.FinishTime(arrival, bank, ch, isWrite, state)
+		eqBig(t, "finish time", i, got, ref.finishTime(arrival, bank, ch, isWrite, state))
+
+		switch rng.intn(8) {
+		case 0: // share reassignment
+			s := shareChoices[rng.intn(len(shareChoices))]
+			v.SetShare(s)
+			ref.setShare(s)
+		default: // command issue
+			kind := propKinds[rng.intn(len(propKinds))]
+			if isWrite && kind == CmdRead {
+				kind = CmdWrite
+			}
+			if !isWrite && kind == CmdWrite {
+				kind = CmdRead
+			}
+			v.OnCommandIssue(kind, arrival, bank, ch, isWrite)
+			ref.onIssue(kind, arrival, bank, ch, isWrite)
+		}
+
+		// Full register sweep: every bank and channel, every event.
+		for b := 0; b < nbanks; b++ {
+			eqBig(t, "bank register", i, v.BankR(b), ref.bankR[b])
+		}
+		for c := 0; c < nchans; c++ {
+			eqBig(t, "channel register", i, v.ChanRAt(c), ref.chanR[c])
+		}
+	}
+}
+
+// TestVTMSOracleMultiThread runs the differential check through the
+// policy layer: four threads with unequal shares sharing one refVTMS
+// mirror each, driven via vftBase.OnIssue so the freeze-then-update
+// path is covered too.
+func TestVTMSOracleMultiThread(t *testing.T) {
+	const nbanks, events = 8, 10_000
+	timing := dram.DefaultConfig().Timing
+	shares := []Share{{1, 2}, {1, 4}, {1, 8}, {1, 8}}
+	pol := NewFQVFTF(shares, nbanks, timing)
+	refs := make([]*refVTMS, len(shares))
+	for i, s := range shares {
+		refs[i] = newRefVTMS(s, nbanks, 1, timing)
+	}
+	rng := &propRng{s: 77}
+	var clock int64
+	var nextID uint64
+	for i := 0; i < events; i++ {
+		clock += int64(rng.intn(100))
+		thread := rng.intn(len(shares))
+		nextID++
+		r := &Request{
+			ID:         nextID,
+			Thread:     thread,
+			Arrival:    clock,
+			GlobalBank: rng.intn(nbanks),
+			IsWrite:    rng.intn(4) == 0,
+		}
+		kind := propKinds[rng.intn(len(propKinds))]
+		if r.IsWrite && kind == CmdRead {
+			kind = CmdWrite
+		}
+		if !r.IsWrite && kind == CmdWrite {
+			kind = CmdRead
+		}
+		pol.OnIssue(r, kind)
+		refs[thread].onIssue(kind, r.Arrival, r.GlobalBank, 0, r.IsWrite)
+		for b := 0; b < nbanks; b++ {
+			eqBig(t, "bank register", i, pol.ThreadVTMS(thread).BankR(b), refs[thread].bankR[b])
+		}
+		eqBig(t, "channel register", i, pol.ThreadVTMS(thread).ChanR(), refs[thread].chanR[0])
+	}
+}

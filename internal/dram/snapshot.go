@@ -1,0 +1,86 @@
+package dram
+
+import "repro/internal/snapshot"
+
+// SaveState serializes the channel's timing state: every bank's row
+// status, last-command timestamps, and command/busy counters, plus the
+// channel-global CAS/bus/refresh bookkeeping. Geometry is written for
+// verification only.
+func (c *Channel) SaveState(w *snapshot.Writer) {
+	w.Section("dram.Channel")
+	w.Int(len(c.banks))
+	for i := range c.banks {
+		b := &c.banks[i]
+		w.Bool(b.open)
+		w.Int(b.row)
+		w.I64(b.lastActivate)
+		w.I64(b.lastRead)
+		w.I64(b.lastWrite)
+		w.I64(b.lastPrecharge)
+		w.I64(b.writeDataEnd)
+		w.I64(b.busyCycles)
+		w.I64(b.activates)
+		w.I64(b.precharges)
+		w.I64(b.reads)
+		w.I64(b.writes)
+	}
+	w.I64s(c.rankLastActivate)
+	w.I64(c.lastCAS)
+	w.I64(c.lastWriteData)
+	w.I64(c.dataBusFreeAt)
+	w.I64(c.dataBusBusy)
+	w.I64(c.refreshUntil)
+	w.I64(c.refreshedCount)
+}
+
+// LoadState restores a channel saved by SaveState into a channel
+// constructed with the same configuration.
+func (c *Channel) LoadState(r *snapshot.Reader) error {
+	r.Section("dram.Channel")
+	n := r.Int()
+	if r.Err() == nil && n != len(c.banks) {
+		r.Fail("dram.Channel: %d banks, channel has %d", n, len(c.banks))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	banks := make([]bank, n)
+	for i := range banks {
+		b := &banks[i]
+		b.open = r.Bool()
+		b.row = r.Int()
+		b.lastActivate = r.I64()
+		b.lastRead = r.I64()
+		b.lastWrite = r.I64()
+		b.lastPrecharge = r.I64()
+		b.writeDataEnd = r.I64()
+		b.busyCycles = r.I64()
+		b.activates = r.I64()
+		b.precharges = r.I64()
+		b.reads = r.I64()
+		b.writes = r.I64()
+	}
+	rankLast := r.I64s(len(c.rankLastActivate))
+	lastCAS := r.I64()
+	lastWriteData := r.I64()
+	dataBusFreeAt := r.I64()
+	dataBusBusy := r.I64()
+	refreshUntil := r.I64()
+	refreshedCount := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(rankLast) != len(c.rankLastActivate) {
+		r.Fail("dram.Channel: %d ranks, channel has %d", len(rankLast), len(c.rankLastActivate))
+		return r.Err()
+	}
+	copy(c.banks, banks)
+	copy(c.rankLastActivate, rankLast)
+	c.lastCAS = lastCAS
+	c.lastWriteData = lastWriteData
+	c.dataBusFreeAt = dataBusFreeAt
+	c.dataBusBusy = dataBusBusy
+	c.refreshUntil = refreshUntil
+	c.refreshedCount = refreshedCount
+	return nil
+}

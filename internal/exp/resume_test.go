@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSweepKillAndResume is the crash-resilience acceptance test: a
+// sweep killed mid-run (via the stopAfterCheckpoints hook) and resumed
+// with Resume must produce exactly what an uninterrupted sweep
+// produces — the same Result and byte-identical series/CSV artifacts.
+func TestSweepKillAndResume(t *testing.T) {
+	const benchA, benchB = "art", "vpr"
+	base := Config{
+		Warmup:         20_000,
+		Window:         60_000,
+		Seed:           3,
+		SampleInterval: 10_000,
+	}
+
+	// Uninterrupted reference sweep.
+	refSeries := t.TempDir()
+	refCfg := base
+	refCfg.SeriesDir = refSeries
+	ref := NewRunner(refCfg)
+	want, err := ref.CoRun([]string{benchA, benchB}, "FQ-VFTF")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted sweep: dies after the second checkpoint.
+	ckptDir := t.TempDir()
+	gotSeries := t.TempDir()
+	killedCfg := base
+	killedCfg.SeriesDir = gotSeries
+	killedCfg.CheckpointDir = ckptDir
+	killedCfg.CheckpointEvery = 25_000
+	killed := NewRunner(killedCfg)
+	killed.stopAfterCheckpoints = 2
+	if _, err := killed.CoRun([]string{benchA, benchB}, "FQ-VFTF"); !errors.Is(err, errStopped) {
+		t.Fatalf("killed sweep: got error %v, want errStopped", err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(ckptDir, "*.ckpt"))
+	if err != nil || len(ckpts) != 1 {
+		t.Fatalf("killed sweep left %d checkpoints (err %v), want 1", len(ckpts), err)
+	}
+
+	// Resumed sweep in a "fresh process" (a fresh Runner).
+	resumedCfg := killedCfg
+	resumedCfg.Resume = true
+	resumed := NewRunner(resumedCfg)
+	got, err := resumed.CoRun([]string{benchA, benchB}, "FQ-VFTF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed Result diverged\n got: %+v\nwant: %+v", got, want)
+	}
+	// The resumed run simulated only the remainder, not the whole run.
+	if c := resumed.SimulatedCycles(); c >= base.Warmup+base.Window {
+		t.Errorf("resumed sweep simulated %d cycles; expected less than the full %d", c, base.Warmup+base.Window)
+	}
+	// Completion retires the checkpoint and persists the result.
+	if left, _ := filepath.Glob(filepath.Join(ckptDir, "*.ckpt")); len(left) != 0 {
+		t.Errorf("completed run left checkpoints behind: %v", left)
+	}
+	if res, _ := filepath.Glob(filepath.Join(ckptDir, "*.result.json")); len(res) != 1 {
+		t.Errorf("completed run persisted %d results, want 1", len(res))
+	}
+
+	// The artifacts must match the uninterrupted sweep byte for byte.
+	refFiles, err := filepath.Glob(filepath.Join(refSeries, "*"))
+	if err != nil || len(refFiles) == 0 {
+		t.Fatalf("reference sweep wrote no artifacts (err %v)", err)
+	}
+	for _, rf := range refFiles {
+		name := filepath.Base(rf)
+		wantB, err := os.ReadFile(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, err := os.ReadFile(filepath.Join(gotSeries, name))
+		if err != nil {
+			t.Fatalf("resumed sweep missing artifact %s: %v", name, err)
+		}
+		if string(gotB) != string(wantB) {
+			i := 0
+			for i < len(gotB) && i < len(wantB) && gotB[i] == wantB[i] {
+				i++
+			}
+			t.Errorf("artifact %s differs at byte %d", name, i)
+		}
+	}
+
+	// A second resumed sweep recalls the persisted result without
+	// simulating anything.
+	again := NewRunner(resumedCfg)
+	res2, err := again.CoRun([]string{benchA, benchB}, "FQ-VFTF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res2, want) {
+		t.Error("recalled persisted result diverged")
+	}
+	if c := again.SimulatedCycles(); c != 0 {
+		t.Errorf("recall simulated %d cycles, want 0", c)
+	}
+}
+
+// TestCheckpointSweepUninterrupted: checkpointing on but never killed —
+// results must match a plain sweep and the run must not leave
+// checkpoints behind.
+func TestCheckpointSweepUninterrupted(t *testing.T) {
+	base := Config{Warmup: 10_000, Window: 30_000, Seed: 9}
+
+	plain := NewRunner(base)
+	want, err := plain.CoRun([]string{"art", "vpr"}, "FR-VFTF")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckptDir := t.TempDir()
+	cfg := base
+	cfg.CheckpointDir = ckptDir
+	cfg.CheckpointEvery = 7_000
+	ck := NewRunner(cfg)
+	got, err := ck.CoRun([]string{"art", "vpr"}, "FR-VFTF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("checkpointing changed the result\n got: %+v\nwant: %+v", got, want)
+	}
+	if left, _ := filepath.Glob(filepath.Join(ckptDir, "*.ckpt")); len(left) != 0 {
+		t.Errorf("uninterrupted run left checkpoints: %v", left)
+	}
+}

@@ -6,8 +6,11 @@
 package exp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -48,7 +51,32 @@ type Config struct {
 	// cycles (memoized recalls are not re-counted) so a status server
 	// can report sweep throughput.
 	Progress *telemetry.Progress
+
+	// CheckpointDir, when non-empty, makes every run crash-resilient:
+	// the simulator checkpoints its complete state to
+	// <dir>/<key>.ckpt every CheckpointEvery cycles (atomically, via
+	// temp file + rename), and each completed run's Result is persisted
+	// to <dir>/<key>.result.json.
+	CheckpointDir string
+
+	// CheckpointEvery is the auto-checkpoint interval in cycles
+	// (0 selects DefaultCheckpointEvery). Only meaningful with
+	// CheckpointDir.
+	CheckpointEvery int64
+
+	// Resume, with CheckpointDir, picks every run up where a previous
+	// (killed) sweep left it: completed runs are recalled from their
+	// persisted Results without re-simulating, and interrupted runs
+	// restore from their checkpoint and simulate only the remaining
+	// cycles. Resumed runs are bit-identical to uninterrupted ones —
+	// same Results, same series artifacts, byte for byte.
+	Resume bool
 }
+
+// DefaultCheckpointEvery is the auto-checkpoint interval when
+// Config.CheckpointEvery is zero: frequent enough that a killed sweep
+// loses at most a second or two of simulation per run.
+const DefaultCheckpointEvery int64 = 100_000
 
 // DefaultConfig returns measurement windows long enough for stable
 // figures (a few seconds per multi-core run).
@@ -70,7 +98,15 @@ type Runner struct {
 	memo      map[string]sim.Result
 	simCycles int64
 	limit     chan struct{}
+
+	// stopAfterCheckpoints is a test hook: when > 0, the runner aborts
+	// with errStopped after writing that many checkpoint files,
+	// emulating a sweep killed mid-run.
+	stopAfterCheckpoints int
 }
+
+// errStopped is returned when the stopAfterCheckpoints test hook fires.
+var errStopped = errors.New("exp: stopped by checkpoint hook")
 
 // SimulatedCycles returns the total cycles actually simulated so far
 // (memoized recalls are not double-counted). cmd/experiments uses the
@@ -137,10 +173,18 @@ func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
 	}
 	r.mu.Unlock()
 
+	// A previous sweep may have finished this run already.
+	if res, ok := r.loadResult(key); ok {
+		r.mu.Lock()
+		r.memo[key] = res
+		r.mu.Unlock()
+		return res, nil
+	}
+
 	cfg.Seed = r.cfg.Seed
 	cfg.Audit = cfg.Audit || r.cfg.Audit
 	cfg.SampleInterval = r.cfg.SampleInterval
-	sys, res, err := sim.RunSystem(cfg, r.cfg.Warmup, r.cfg.Window)
+	sys, res, stepped, err := r.runSim(key, cfg)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("exp: run %s: %w", key, err)
 	}
@@ -149,14 +193,144 @@ func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
 			return sim.Result{}, fmt.Errorf("exp: series %s: %w", key, err)
 		}
 	}
+	if err := r.saveResult(key, res); err != nil {
+		return sim.Result{}, fmt.Errorf("exp: persist %s: %w", key, err)
+	}
 	if r.cfg.Progress != nil {
-		r.cfg.Progress.AddCycles(r.cfg.Warmup + r.cfg.Window)
+		r.cfg.Progress.AddCycles(stepped)
 	}
 	r.mu.Lock()
 	r.memo[key] = res
-	r.simCycles += r.cfg.Warmup + r.cfg.Window
+	r.simCycles += stepped
 	r.mu.Unlock()
 	return res, nil
+}
+
+// runSim executes one simulation to completion. With CheckpointDir set
+// it steps in CheckpointEvery chunks, checkpointing after each; with
+// Resume it first tries to restore from an existing checkpoint. It
+// returns the cycles actually simulated in this process (less than
+// warmup+window for a resumed run).
+func (r *Runner) runSim(key string, cfg sim.Config) (*sim.System, sim.Result, int64, error) {
+	if r.cfg.CheckpointDir == "" {
+		sys, res, err := sim.RunSystem(cfg, r.cfg.Warmup, r.cfg.Window)
+		return sys, res, r.cfg.Warmup + r.cfg.Window, err
+	}
+	every := r.cfg.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	if err := os.MkdirAll(r.cfg.CheckpointDir, 0o755); err != nil {
+		return nil, sim.Result{}, 0, err
+	}
+	ckpt := r.checkpointPath(key)
+	var sys *sim.System
+	if r.cfg.Resume {
+		if _, err := os.Stat(ckpt); err == nil {
+			restored, err := sim.RestoreFile(cfg, ckpt)
+			if err != nil {
+				return nil, sim.Result{}, 0, fmt.Errorf("restore %s: %w", ckpt, err)
+			}
+			sys = restored
+		}
+	}
+	if sys == nil {
+		fresh, err := sim.New(cfg)
+		if err != nil {
+			return nil, sim.Result{}, 0, err
+		}
+		sys = fresh
+	}
+	start := sys.Cycle()
+	total := r.cfg.Warmup + r.cfg.Window
+	for sys.Cycle() < total {
+		next := sys.Cycle() + every
+		// Stop at the measurement boundary so BeginMeasurement lands on
+		// exactly the same cycle as an uninterrupted run.
+		if !sys.MeasurementStarted() && next > r.cfg.Warmup {
+			next = r.cfg.Warmup
+		}
+		if next > total {
+			next = total
+		}
+		sys.Step(next - sys.Cycle())
+		if !sys.MeasurementStarted() && sys.Cycle() >= r.cfg.Warmup {
+			sys.BeginMeasurement()
+		}
+		if sys.Cycle() < total {
+			if err := sys.CheckpointFile(ckpt); err != nil {
+				return nil, sim.Result{}, 0, fmt.Errorf("checkpoint %s: %w", ckpt, err)
+			}
+			if stop := r.noteCheckpoint(); stop {
+				return nil, sim.Result{}, 0, errStopped
+			}
+		}
+	}
+	sys.FinishAudit()
+	return sys, sys.Results(), total - start, nil
+}
+
+// noteCheckpoint implements the stopAfterCheckpoints test hook.
+func (r *Runner) noteCheckpoint() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopAfterCheckpoints == 0 {
+		return false
+	}
+	r.stopAfterCheckpoints--
+	return r.stopAfterCheckpoints == 0
+}
+
+// Checkpoint and result artifacts share writeSeries's sanitizeKey
+// naming, so one run's checkpoint, result, and series files all carry
+// the same stem.
+func (r *Runner) checkpointPath(key string) string {
+	return filepath.Join(r.cfg.CheckpointDir, sanitizeKey(key)+".ckpt")
+}
+
+func (r *Runner) resultPath(key string) string {
+	return filepath.Join(r.cfg.CheckpointDir, sanitizeKey(key)+".result.json")
+}
+
+// loadResult recalls a completed run persisted by a previous sweep.
+func (r *Runner) loadResult(key string) (sim.Result, bool) {
+	if r.cfg.CheckpointDir == "" || !r.cfg.Resume {
+		return sim.Result{}, false
+	}
+	b, err := os.ReadFile(r.resultPath(key))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var res sim.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return sim.Result{}, false
+	}
+	return res, true
+}
+
+// saveResult persists a completed run's Result and retires its
+// checkpoint: the result now supersedes it.
+func (r *Runner) saveResult(key string, res sim.Result) error {
+	if r.cfg.CheckpointDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.cfg.CheckpointDir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := r.resultPath(key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	os.Remove(r.checkpointPath(key))
+	return nil
 }
 
 // Solo runs one benchmark alone on a system whose memory timing is

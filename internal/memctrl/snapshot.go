@@ -1,0 +1,400 @@
+package memctrl
+
+import (
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+func saveRequest(w *snapshot.Writer, q *core.Request) {
+	w.U64(q.ID)
+	w.Int(q.Thread)
+	w.U64(q.Addr)
+	w.Bool(q.IsWrite)
+	w.I64(q.Arrival)
+	w.I64(q.ArrivalReal)
+	w.Int(q.Rank)
+	w.Int(q.Bank)
+	w.Int(q.Row)
+	w.Int(q.Col)
+	w.Int(q.Channel)
+	w.Int(q.GlobalBank)
+	w.I64(int64(q.Key))
+	w.Bool(q.KeyFrozen)
+	w.Int(q.Issued)
+}
+
+func loadRequest(r *snapshot.Reader) *core.Request {
+	q := &core.Request{
+		ID:          r.U64(),
+		Thread:      r.Int(),
+		Addr:        r.U64(),
+		IsWrite:     r.Bool(),
+		Arrival:     r.I64(),
+		ArrivalReal: r.I64(),
+		Rank:        r.Int(),
+		Bank:        r.Int(),
+		Row:         r.Int(),
+		Col:         r.Int(),
+		Channel:     r.Int(),
+		GlobalBank:  r.Int(),
+	}
+	q.Key = core.VTime(r.I64())
+	q.KeyFrozen = r.Bool()
+	q.Issued = r.Int()
+	return q
+}
+
+// SaveState serializes the controller: DRAM channel timing, the
+// per-bank transaction queues (with full request state, including
+// frozen policy keys), in-flight reads awaiting data-burst completion,
+// occupancy and refresh bookkeeping, per-thread statistics, the policy's
+// virtual-time registers when the policy carries state, the event-driven
+// wake lists, and the optional auditor. The wake lists are serialized
+// rather than invalidated on restore: rebuilding them conservatively
+// would be results-safe but would lose refresh-raised wake times and so
+// break process-state identity with the uninterrupted run.
+func (c *Controller) SaveState(w *snapshot.Writer) {
+	w.Section("memctrl.Controller")
+	w.Int(len(c.chans))
+	for _, ch := range c.chans {
+		ch.SaveState(w)
+	}
+	w.Int(len(c.pending))
+	for _, q := range c.pending {
+		w.Len(len(q))
+		for _, req := range q {
+			saveRequest(w, req)
+		}
+	}
+	w.Ints(c.readOcc)
+	w.Ints(c.writeOcc)
+	w.Int(len(c.inflight))
+	for ch := range c.inflight {
+		live := c.inflight[ch][c.inflightHead[ch]:]
+		w.Len(len(live))
+		for _, f := range live {
+			saveRequest(w, f.req)
+			w.I64(f.doneAt)
+		}
+	}
+	w.U64(c.nextID)
+	w.I64(c.vclock)
+	w.Bools(c.refreshWanted)
+	w.I64s(c.nextRefreshAt)
+	w.Int(len(c.stats))
+	for i := range c.stats {
+		st := &c.stats[i]
+		w.I64(st.ReadsAccepted)
+		w.I64(st.WritesAccepted)
+		w.I64(st.ReadsDone)
+		w.I64(st.WritesDone)
+		w.I64(st.ReadLatencySum)
+		w.I64(st.DataBusCycles)
+		w.I64(st.ReadNACKs)
+		w.I64(st.WriteNACKs)
+		w.I64(st.RowHits)
+		w.I64(st.RowConflicts)
+		w.I64(st.RowClosed)
+		st.LatHist.SaveState(w)
+	}
+	for _, n := range c.cmdCount {
+		w.I64(n)
+	}
+	w.I64s(c.bankWake)
+	w.I64(c.nextEvent)
+	ps, hasPolicy := c.policy.(core.PolicyState)
+	w.Bool(hasPolicy)
+	if hasPolicy {
+		ps.SaveState(w)
+	}
+	w.Bool(c.aud != nil)
+	if c.aud != nil {
+		c.aud.SaveState(w)
+	}
+}
+
+// LoadState restores a controller saved by SaveState into one
+// constructed with the same configuration and policy. Derived totals
+// (pendingTotal, occupancy sums) are recomputed; the auditor's pending
+// mirror is re-linked to the restored live request pointers.
+func (c *Controller) LoadState(r *snapshot.Reader) error {
+	r.Section("memctrl.Controller")
+	nch := r.Int()
+	if r.Err() == nil && nch != len(c.chans) {
+		r.Fail("memctrl.Controller: %d channels, controller has %d", nch, len(c.chans))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for _, ch := range c.chans {
+		if err := ch.LoadState(r); err != nil {
+			return err
+		}
+	}
+	nb := r.Int()
+	if r.Err() == nil && nb != len(c.pending) {
+		r.Fail("memctrl.Controller: %d banks, controller has %d", nb, len(c.pending))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	threads := len(c.stats)
+	reqByID := make(map[uint64]*core.Request)
+	pending := make([][]*core.Request, nb)
+	total := 0
+	for b := 0; b < nb; b++ {
+		n := r.Len(snapshot.MaxSlice)
+		q := make([]*core.Request, 0, n)
+		for i := 0; i < n; i++ {
+			req := loadRequest(r)
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if req.GlobalBank != b {
+				r.Fail("memctrl.Controller: request %d queued on bank %d but maps to bank %d", req.ID, b, req.GlobalBank)
+				return r.Err()
+			}
+			if req.Thread < 0 || req.Thread >= threads {
+				r.Fail("memctrl.Controller: request %d thread %d out of range [0,%d)", req.ID, req.Thread, threads)
+				return r.Err()
+			}
+			if req.Channel < 0 || req.Channel >= nch {
+				r.Fail("memctrl.Controller: request %d channel %d out of range [0,%d)", req.ID, req.Channel, nch)
+				return r.Err()
+			}
+			if _, dup := reqByID[req.ID]; dup {
+				r.Fail("memctrl.Controller: duplicate request id %d", req.ID)
+				return r.Err()
+			}
+			reqByID[req.ID] = req
+			q = append(q, req)
+		}
+		pending[b] = q
+		total += len(q)
+	}
+	readOcc := r.Ints(len(c.readOcc))
+	writeOcc := r.Ints(len(c.writeOcc))
+	if r.Err() == nil && (len(readOcc) != len(c.readOcc) || len(writeOcc) != len(c.writeOcc)) {
+		r.Fail("memctrl.Controller: occupancy arrays sized %d/%d, controller has %d/%d",
+			len(readOcc), len(writeOcc), len(c.readOcc), len(c.writeOcc))
+	}
+	nic := r.Int()
+	if r.Err() == nil && nic != len(c.inflight) {
+		r.Fail("memctrl.Controller: %d inflight channels, controller has %d", nic, len(c.inflight))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	inflight := make([][]inflightRead, nic)
+	for ch := 0; ch < nic; ch++ {
+		n := r.Len(snapshot.MaxSlice)
+		q := make([]inflightRead, 0, n)
+		for i := 0; i < n; i++ {
+			req := loadRequest(r)
+			doneAt := r.I64()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if req.Thread < 0 || req.Thread >= threads {
+				r.Fail("memctrl.Controller: inflight request %d thread %d out of range [0,%d)", req.ID, req.Thread, threads)
+				return r.Err()
+			}
+			if _, dup := reqByID[req.ID]; dup {
+				r.Fail("memctrl.Controller: duplicate request id %d", req.ID)
+				return r.Err()
+			}
+			reqByID[req.ID] = req
+			q = append(q, inflightRead{req: req, doneAt: doneAt})
+		}
+		inflight[ch] = q
+	}
+	nextID := r.U64()
+	vclock := r.I64()
+	refreshWanted := r.Bools(len(c.refreshWanted))
+	nextRefreshAt := r.I64s(len(c.nextRefreshAt))
+	if r.Err() == nil && (len(refreshWanted) != len(c.refreshWanted) || len(nextRefreshAt) != len(c.nextRefreshAt)) {
+		r.Fail("memctrl.Controller: refresh arrays sized %d/%d, controller has %d/%d",
+			len(refreshWanted), len(nextRefreshAt), len(c.refreshWanted), len(c.nextRefreshAt))
+	}
+	nst := r.Int()
+	if r.Err() == nil && nst != len(c.stats) {
+		r.Fail("memctrl.Controller: %d thread stats, controller has %d", nst, len(c.stats))
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	stats := make([]ThreadStats, nst)
+	for i := range stats {
+		st := &stats[i]
+		st.ReadsAccepted = r.I64()
+		st.WritesAccepted = r.I64()
+		st.ReadsDone = r.I64()
+		st.WritesDone = r.I64()
+		st.ReadLatencySum = r.I64()
+		st.DataBusCycles = r.I64()
+		st.ReadNACKs = r.I64()
+		st.WriteNACKs = r.I64()
+		st.RowHits = r.I64()
+		st.RowConflicts = r.I64()
+		st.RowClosed = r.I64()
+		st.LatHist = c.stats[i].LatHist
+		if err := st.LatHist.LoadState(r); err != nil {
+			return err
+		}
+	}
+	var cmdCount [6]int64
+	for i := range cmdCount {
+		cmdCount[i] = r.I64()
+	}
+	bankWake := r.I64s(len(c.bankWake))
+	nextEvent := r.I64()
+	if r.Err() == nil && len(bankWake) != len(c.bankWake) {
+		r.Fail("memctrl.Controller: %d bank wakes, controller has %d", len(bankWake), len(c.bankWake))
+	}
+	hasPolicy := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	ps, want := c.policy.(core.PolicyState)
+	if hasPolicy != want {
+		r.Fail("memctrl.Controller: snapshot policy-state flag %v, policy capability %v", hasPolicy, want)
+		return r.Err()
+	}
+	if hasPolicy {
+		if err := ps.LoadState(r); err != nil {
+			return err
+		}
+	}
+	hasAud := r.Bool()
+	if r.Err() == nil && hasAud != (c.aud != nil) {
+		r.Fail("memctrl.Controller: snapshot auditor flag %v, controller auditor %v", hasAud, c.aud != nil)
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	copy(c.pending, pending)
+	c.pendingTotal = total
+	copy(c.readOcc, readOcc)
+	copy(c.writeOcc, writeOcc)
+	c.readOccTotal, c.writeOccTotal = 0, 0
+	for _, n := range readOcc {
+		c.readOccTotal += n
+	}
+	for _, n := range writeOcc {
+		c.writeOccTotal += n
+	}
+	copy(c.inflight, inflight)
+	for ch := range c.inflightHead {
+		c.inflightHead[ch] = 0
+	}
+	c.nextID = nextID
+	c.vclock = vclock
+	copy(c.refreshWanted, refreshWanted)
+	copy(c.nextRefreshAt, nextRefreshAt)
+	copy(c.stats, stats)
+	c.cmdCount = cmdCount
+	copy(c.bankWake, bankWake)
+	c.nextEvent = nextEvent
+	if c.aud != nil {
+		if err := c.aud.LoadState(r, reqByID, c.pending); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveState serializes the fairness monitor: the previous-boundary
+// cumulative service the next epoch differences against, the running
+// shortfall aggregates, and the retained sample ring oldest-first.
+func (m *FairnessMonitor) SaveState(w *snapshot.Writer) {
+	w.Section("memctrl.FairnessMonitor")
+	w.I64(m.interval)
+	w.I64(m.nextAt)
+	w.I64s(m.prevService)
+	w.F64s(m.cumShort)
+	w.F64s(m.maxEpochShrt)
+	w.F64s(m.maxAbsExcess)
+	w.I64s(m.lastExcess)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w.Int(cap(m.ring))
+	w.Len(m.count)
+	for i := 0; i < m.count; i++ {
+		sm := &m.ring[(m.start+i)%len(m.ring)]
+		w.I64(sm.Epoch)
+		w.I64(sm.Cycle)
+		w.I64s(sm.Service)
+		w.I64(sm.Total)
+		w.F64s(sm.Share)
+		w.F64s(sm.Phi)
+		w.F64s(sm.Excess)
+		w.Bools(sm.Backlogged)
+		w.F64s(sm.CumShortfall)
+	}
+	w.I64(m.epochs)
+}
+
+// LoadState restores a fairness monitor saved by SaveState into one
+// constructed over the same controller with the same interval and
+// capacity.
+func (m *FairnessMonitor) LoadState(r *snapshot.Reader) error {
+	r.Section("memctrl.FairnessMonitor")
+	interval := r.I64()
+	nextAt := r.I64()
+	n := len(m.prevService)
+	prevService := r.I64s(n)
+	cumShort := r.F64s(n)
+	maxEpochShrt := r.F64s(n)
+	maxAbsExcess := r.F64s(n)
+	lastExcess := r.I64s(n)
+	capacity := r.Int()
+	count := r.Len(snapshot.MaxSlice)
+	if r.Err() == nil && interval != m.interval {
+		r.Fail("memctrl.FairnessMonitor: interval %d, monitor has %d", interval, m.interval)
+	}
+	if r.Err() == nil && (len(prevService) != n || len(cumShort) != n || len(maxEpochShrt) != n ||
+		len(maxAbsExcess) != n || len(lastExcess) != n) {
+		r.Fail("memctrl.FairnessMonitor: per-thread arrays do not match %d threads", n)
+	}
+	if r.Err() == nil && capacity != cap(m.ring) {
+		r.Fail("memctrl.FairnessMonitor: ring capacity %d, monitor has %d", capacity, cap(m.ring))
+	}
+	if r.Err() == nil && count > capacity {
+		r.Fail("memctrl.FairnessMonitor: %d retained samples exceed capacity %d", count, capacity)
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	ring := make([]FairnessSample, 0, cap(m.ring))
+	for i := 0; i < count; i++ {
+		sm := FairnessSample{Epoch: r.I64(), Cycle: r.I64()}
+		sm.Service = r.I64s(n)
+		sm.Total = r.I64()
+		sm.Share = r.F64s(n)
+		sm.Phi = r.F64s(n)
+		sm.Excess = r.F64s(n)
+		sm.Backlogged = r.Bools(n)
+		sm.CumShortfall = r.F64s(n)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		ring = append(ring, sm)
+	}
+	epochs := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	m.nextAt = nextAt
+	copy(m.prevService, prevService)
+	copy(m.cumShort, cumShort)
+	copy(m.maxEpochShrt, maxEpochShrt)
+	copy(m.maxAbsExcess, maxAbsExcess)
+	copy(m.lastExcess, lastExcess)
+	m.mu.Lock()
+	m.ring = ring
+	m.start = 0
+	m.count = len(ring)
+	m.epochs = epochs
+	m.mu.Unlock()
+	return nil
+}

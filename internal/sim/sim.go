@@ -247,7 +247,7 @@ type System struct {
 	fair      *memctrl.FairnessMonitor
 	epochNext int64
 
-	snap snapshot
+	snap baseline
 }
 
 // noEpoch is epochNext's "sampling disabled" sentinel; a cycle counter
@@ -550,7 +550,7 @@ func (s *System) nextWake(now, end int64) int64 {
 
 // snapshot captures cumulative counters at the start of a measurement
 // window so Results can report deltas.
-type snapshot struct {
+type baseline struct {
 	cycle                       int64
 	retired                     []int64
 	stalls                      []int64
@@ -566,7 +566,7 @@ type snapshot struct {
 // Results cover everything after this call.
 func (s *System) BeginMeasurement() {
 	n := len(s.cores)
-	s.snap = snapshot{
+	s.snap = baseline{
 		cycle:      s.cycle,
 		retired:    make([]int64, n),
 		stalls:     make([]int64, n),

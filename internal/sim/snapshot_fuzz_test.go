@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fuzzConfig is the fixed configuration hostile snapshots are restored
+// under. Sampling and audit are enabled so the fuzzer reaches every
+// decode path, including the auditor's pointer re-linking.
+func fuzzConfig(t testing.TB) Config {
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Workload:       []trace.Profile{art, vpr},
+		Policy:         FQVFTF,
+		Seed:           5,
+		Audit:          true,
+		SampleInterval: 1_000,
+	}
+}
+
+// validSnapshot produces a well-formed checkpoint for seeding.
+func validSnapshot(t testing.TB) []byte {
+	cfg := fuzzConfig(t)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(3_000)
+	s.BeginMeasurement()
+	s.Step(2_001)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRestoreSnapshot feeds Restore hostile bytes: truncations,
+// bit flips, and arbitrary garbage. The contract is that Restore
+// returns an error for anything that is not a faithful snapshot — it
+// must never panic, hang, or allocate unboundedly. Length caps bound
+// every allocation before it happens, every index is validated before
+// use, and the recover backstop converts anything residual into an
+// error.
+func FuzzRestoreSnapshot(f *testing.F) {
+	valid := validSnapshot(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("FQMSSNAP"))
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:16])
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// A few deterministic bit flips through the header, fingerprint,
+	// and body regions.
+	for _, off := range []int{0, 8, 12, 40, 100, len(valid) / 2, len(valid) - 1} {
+		if off >= 0 && off < len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[off] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	cfg := fuzzConfig(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Restore(cfg, bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil system with nil error")
+		}
+		// A mutation can corrupt merely-stored values (counters,
+		// timestamps) without tripping a structural check; Restore
+		// accepting those is fine. Stepping such a system may trip the
+		// runtime auditor, which panics with a diagnostic dump by
+		// design — that is the corruption being *caught*, so it is
+		// tolerated here. Only Restore itself must never panic.
+		func() {
+			defer func() { recover() }()
+			s.Step(10)
+		}()
+	})
+}
+
+// TestRestoreHostileInputs runs the fuzz corpus shapes as a plain test
+// so the guarantees hold in ordinary `go test` runs too.
+func TestRestoreHostileInputs(t *testing.T) {
+	valid := validSnapshot(t)
+	cfg := fuzzConfig(t)
+	cases := [][]byte{
+		{},
+		[]byte("not a snapshot at all"),
+		[]byte("FQMSSNAP"),
+		bytes.Repeat([]byte{0x00}, 256),
+		bytes.Repeat([]byte{0xff}, 256),
+	}
+	for i := 1; i < len(valid); i += len(valid)/97 + 1 {
+		cases = append(cases, valid[:i])
+	}
+	for off := 0; off < len(valid); off += len(valid)/211 + 1 {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x04
+		cases = append(cases, mut)
+	}
+	for i, data := range cases {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("case %d: Restore panicked: %v", i, p)
+				}
+			}()
+			s, err := Restore(cfg, bytes.NewReader(data))
+			if err == nil && s != nil {
+				// Stepping may trip the runtime auditor on corrupted
+				// counters — a deliberate diagnostic panic, tolerated
+				// (see FuzzRestoreSnapshot).
+				func() {
+					defer func() { recover() }()
+					s.Step(10)
+				}()
+			}
+		}()
+	}
+}

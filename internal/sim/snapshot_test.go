@@ -1,0 +1,431 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// runState is everything observable about a finished run: the Result,
+// the controller fingerprint, the epoch series, and the complete
+// process state (the final checkpoint bytes). Two runs are equivalent
+// exactly when their runStates are equal.
+type runState struct {
+	Result  Result
+	Ctrl    controllerFingerprint
+	Epochs  []metrics.Sample
+	Fair    []memctrl.FairnessSample
+	ckpt    []byte // excluded from JSON artifacts
+	ckptLen int
+}
+
+func captureRun(t *testing.T, s *System) runState {
+	t.Helper()
+	st := runState{
+		Result: s.Results(),
+		Ctrl: controllerFingerprint{
+			VClock: s.Controller().VClock(),
+		},
+	}
+	for k := 0; k < 6; k++ {
+		st.Ctrl.Commands[k] = s.Controller().CommandCount(dram.Kind(k))
+	}
+	if s.Sampler() != nil {
+		st.Epochs = s.Sampler().Samples(-1)
+		st.Fair = s.Fairness().Samples(-1)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	st.ckpt = buf.Bytes()
+	st.ckptLen = buf.Len()
+	return st
+}
+
+// dumpArtifact writes got/want JSON next to the test data so a CI
+// failure leaves something inspectable to download.
+func dumpArtifact(t *testing.T, name string, got, want runState) {
+	t.Helper()
+	dir := filepath.Join("testdata")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	for _, f := range []struct {
+		suffix string
+		v      runState
+	}{{"got", got}, {"want", want}} {
+		b, err := json.MarshalIndent(f.v, "", "  ")
+		if err != nil {
+			t.Logf("artifact marshal: %v", err)
+			return
+		}
+		p := filepath.Join(dir, fmt.Sprintf("%s.%s.json", name, f.suffix))
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Logf("artifact write: %v", err)
+		} else {
+			t.Logf("wrote %s", p)
+		}
+	}
+}
+
+func compareRuns(t *testing.T, name string, got, want runState) {
+	t.Helper()
+	bad := false
+	if !reflect.DeepEqual(got.Result, want.Result) {
+		t.Errorf("Result diverged\n got: %+v\nwant: %+v", got.Result, want.Result)
+		bad = true
+	}
+	if got.Ctrl != want.Ctrl {
+		t.Errorf("controller fingerprint diverged\n got: %+v\nwant: %+v", got.Ctrl, want.Ctrl)
+		bad = true
+	}
+	if !reflect.DeepEqual(got.Epochs, want.Epochs) {
+		t.Errorf("epoch sample series diverged (%d vs %d samples)", len(got.Epochs), len(want.Epochs))
+		bad = true
+	}
+	if !reflect.DeepEqual(got.Fair, want.Fair) {
+		t.Errorf("fairness series diverged (%d vs %d samples)", len(got.Fair), len(want.Fair))
+		bad = true
+	}
+	if !bytes.Equal(got.ckpt, want.ckpt) {
+		i := 0
+		for i < len(got.ckpt) && i < len(want.ckpt) && got.ckpt[i] == want.ckpt[i] {
+			i++
+		}
+		t.Errorf("final process state diverged: checkpoint bytes differ at offset %d (%d vs %d bytes)",
+			i, len(got.ckpt), len(want.ckpt))
+		bad = true
+	}
+	if bad {
+		dumpArtifact(t, name, got, want)
+	}
+}
+
+// TestCheckpointRestoreBitIdentical is the tentpole's contract: run
+// N+M cycles straight, versus run N, checkpoint, restore into a fresh
+// system (standing in for a fresh process), and run M — across the full
+// {policy} x {fast, strict} x {audit} x {sampler} matrix. Every
+// observable — Result, virtual clock, command counts, epoch and
+// fairness series, and the complete final process state — must be
+// bit-identical. The checkpoint lands at an odd cycle inside the
+// measurement window, so it cuts skip-ahead spans and a live
+// measurement baseline, not just quiescent boundaries.
+func TestCheckpointRestoreBitIdentical(t *testing.T) {
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []struct {
+		name    string
+		factory PolicyFactory
+	}{
+		{"FCFS", FCFS},
+		{"FR-FCFS", FRFCFS},
+		{"FR-VFTF", FRVFTF},
+		{"FQ-VFTF", FQVFTF},
+		{"FR-VSTF", FRVSTF},
+	}
+	const warmup, preCk, postCk = 2_000, 3_001, 4_999
+	for _, p := range policies {
+		for _, strict := range []bool{false, true} {
+			for _, auditOn := range []bool{false, true} {
+				for _, sample := range []int64{0, 1_000} {
+					p, strict, auditOn, sample := p, strict, auditOn, sample
+					name := fmt.Sprintf("%s/strict=%v/audit=%v/sample=%d", p.name, strict, auditOn, sample)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						if testing.Short() && (strict || !auditOn || sample == 0) {
+							t.Skip("full matrix is slow; -short runs fast+audit+sampler cells only")
+						}
+						cfg := Config{
+							Workload:       []trace.Profile{art, vpr},
+							Policy:         p.factory,
+							Seed:           23,
+							Strict:         strict,
+							Audit:          auditOn,
+							SampleInterval: sample,
+						}
+
+						// Uninterrupted reference run.
+						ref, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ref.Step(warmup)
+						ref.BeginMeasurement()
+						ref.Step(preCk + postCk)
+						ref.FinishAudit()
+						want := captureRun(t, ref)
+
+						// Interrupted run: checkpoint mid-window, restore
+						// into a fresh system, finish there.
+						first, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						first.Step(warmup)
+						first.BeginMeasurement()
+						first.Step(preCk)
+						var buf bytes.Buffer
+						if err := first.Checkpoint(&buf); err != nil {
+							t.Fatalf("checkpoint: %v", err)
+						}
+						saved := buf.Bytes()
+
+						resumed, err := Restore(cfg, bytes.NewReader(saved))
+						if err != nil {
+							t.Fatalf("restore: %v", err)
+						}
+						if !resumed.MeasurementStarted() {
+							t.Fatal("restored system lost its measurement baseline")
+						}
+						if resumed.Cycle() != warmup+preCk {
+							t.Fatalf("restored at cycle %d, want %d", resumed.Cycle(), warmup+preCk)
+						}
+
+						// Re-checkpointing the restored system must
+						// reproduce the snapshot byte for byte: restore
+						// loses nothing.
+						var buf2 bytes.Buffer
+						if err := resumed.Checkpoint(&buf2); err != nil {
+							t.Fatalf("re-checkpoint: %v", err)
+						}
+						if !bytes.Equal(saved, buf2.Bytes()) {
+							i := 0
+							b2 := buf2.Bytes()
+							for i < len(saved) && i < len(b2) && saved[i] == b2[i] {
+								i++
+							}
+							t.Fatalf("re-checkpoint of restored system differs at offset %d (%d vs %d bytes)",
+								i, len(saved), len(b2))
+						}
+
+						resumed.Step(postCk)
+						resumed.FinishAudit()
+						got := captureRun(t, resumed)
+						compareRuns(t, "snapshot-"+p.name+sanitize(name), got, want)
+					})
+				}
+			}
+		}
+	}
+}
+
+func sanitize(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch c {
+		case '/', '=', ' ':
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// TestCheckpointInsideRefreshWindow checkpoints while channel 0 is mid
+// refresh — the one span where the virtual clock is paused and the
+// controller's wake state points at the refresh end — and requires the
+// resumed run to remain bit-identical.
+func TestCheckpointInsideRefreshWindow(t *testing.T) {
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workload:       []trace.Profile{art, vpr},
+		Policy:         FQVFTF,
+		Seed:           17,
+		Audit:          true,
+		SampleInterval: 1_000,
+	}
+	cfg.Mem.DRAM = dram.DefaultConfig()
+	cfg.Mem.DRAM.Timing.TREF = 7_000
+
+	stepIntoRefresh := func(s *System) {
+		t.Helper()
+		for i := 0; i < 30_000; i++ {
+			s.Step(1)
+			if s.Controller().Channel().InRefresh(s.Cycle()) {
+				return
+			}
+		}
+		t.Fatal("no refresh window reached")
+	}
+
+	const tail = 9_000
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Step(2_000)
+	ref.BeginMeasurement()
+	stepIntoRefresh(ref)
+	ckCycle := ref.Cycle()
+	ref.Step(tail)
+	ref.FinishAudit()
+	want := captureRun(t, ref)
+
+	first, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Step(2_000)
+	first.BeginMeasurement()
+	stepIntoRefresh(first)
+	if first.Cycle() != ckCycle {
+		t.Fatalf("refresh reached at cycle %d, reference at %d", first.Cycle(), ckCycle)
+	}
+	if !first.Controller().Channel().InRefresh(first.Cycle()) {
+		t.Fatal("not in refresh at checkpoint cycle")
+	}
+	var buf bytes.Buffer
+	if err := first.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Controller().Channel().InRefresh(resumed.Cycle()) {
+		t.Fatal("restored system is not mid-refresh")
+	}
+	resumed.Step(tail)
+	resumed.FinishAudit()
+	got := captureRun(t, resumed)
+	compareRuns(t, "snapshot-refresh-window", got, want)
+}
+
+// TestCheckpointFileRoundTrip exercises the atomic file helpers.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workload: []trace.Profile{art, art}, Policy: FQVFTF, Seed: 3}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(5_000)
+	path := filepath.Join(t.TempDir(), "sim.ckpt")
+	if err := s.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreFile(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycle() != s.Cycle() {
+		t.Fatalf("restored cycle %d, want %d", r.Cycle(), s.Cycle())
+	}
+	var a, b bytes.Buffer
+	if err := s.Checkpoint(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Checkpoint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("file round trip lost state")
+	}
+}
+
+// TestRestoreConfigMismatch: a snapshot restored under any different
+// configuration must fail with an error, not silently resume a
+// different experiment.
+func TestRestoreConfigMismatch(t *testing.T) {
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Workload:       []trace.Profile{art, vpr},
+		Policy:         FQVFTF,
+		Seed:           11,
+		SampleInterval: 1_000,
+	}
+	s, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(4_000)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	mutations := map[string]func(*Config){
+		"policy":    func(c *Config) { c.Policy = FRFCFS },
+		"seed":      func(c *Config) { c.Seed = 12 },
+		"strict":    func(c *Config) { c.Strict = true },
+		"audit":     func(c *Config) { c.Audit = true },
+		"sampling":  func(c *Config) { c.SampleInterval = 0 },
+		"interval":  func(c *Config) { c.SampleInterval = 2_000 },
+		"workload":  func(c *Config) { c.Workload = []trace.Profile{vpr, art} },
+		"cores":     func(c *Config) { c.Workload = []trace.Profile{art, vpr, art} },
+		"transit":   func(c *Config) { c.ReqTransit = 20 },
+		"geometry":  func(c *Config) { c.Mem = memctrl.DefaultConfig(2); c.Mem.Channels = 2 },
+	}
+	for name, mutate := range mutations {
+		name, mutate := name, mutate
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			mutate(&cfg)
+			if _, err := Restore(cfg, bytes.NewReader(snap)); err == nil {
+				t.Fatalf("restore under mutated config %q succeeded; want error", name)
+			}
+		})
+	}
+
+	// The unmutated config still restores.
+	if _, err := Restore(base, bytes.NewReader(snap)); err != nil {
+		t.Fatalf("restore under original config failed: %v", err)
+	}
+}
+
+// TestCheckpointRefusesTraceSink: a streaming trace sink cannot be
+// resumed, so Checkpoint must refuse rather than write a snapshot that
+// silently truncates the timeline.
+func TestCheckpointRefusesTraceSink(t *testing.T) {
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	tw := metrics.NewTraceWriter(&sink)
+	cfg := Config{Workload: []trace.Profile{art}, Trace: tw}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(1_000)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err == nil {
+		t.Fatal("checkpoint with a trace sink succeeded; want error")
+	}
+}

@@ -1,0 +1,405 @@
+// Package snapshot implements the versioned binary encoding beneath
+// the simulator's checkpoint/restore feature (sim.Checkpoint /
+// sim.Restore). The format is a flat little-endian stream:
+//
+//	magic "FQMSSNAP" | u32 version | sections...
+//
+// Each section opens with its name as a length-prefixed string; every
+// component writes its own section marker, so a reader that drifts out
+// of alignment fails immediately with a section-name mismatch instead
+// of silently decoding garbage. The stream is self-describing down to
+// the section level, but field layout within a section is fixed per
+// version: a snapshot restores only into the same simulator version
+// and an equivalent configuration (sim.Restore verifies a full
+// configuration fingerprint before touching any component state).
+//
+// Hostile input is a first-class concern — snapshots cross process and
+// machine boundaries. The Reader therefore never trusts a decoded
+// length: every slice/string read takes an explicit cap and fails when
+// the header exceeds it (the same defense trace.ReadTrace applies to
+// its instruction-count header), so a bit-flipped count costs a
+// bounded allocation, not an OOM. Both Writer and Reader carry a
+// sticky error: the first failure wins and every later call is a
+// cheap no-op, letting component serializers stay linear and check
+// Err once.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic opens every snapshot stream.
+const Magic = "FQMSSNAP"
+
+// Version is the current format version. Any change to a section's
+// field layout must bump it; Restore refuses other versions.
+const Version = 1
+
+// MaxSlice is the default element cap for variable-length sections
+// whose natural bound is configuration-dependent but small (queues,
+// rings, histories). 1<<22 elements bounds a hostile length header to
+// tens of MB for the widest element types while being far above any
+// real configuration.
+const MaxSlice = 1 << 22
+
+// MaxString caps decoded string lengths (section names, metric names,
+// benchmark names are all short).
+const MaxString = 1 << 10
+
+// Writer serializes primitives to an io.Writer with a sticky error.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+// NewWriter returns a Writer that has already emitted the stream
+// header (magic and version).
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: bufio.NewWriter(w)}
+	sw.write([]byte(Magic))
+	sw.U32(Version)
+	return sw
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// Fail records err (the first failure sticks) — for component
+// serializers that detect an unserializable state mid-stream.
+func (w *Writer) Fail(format string, args ...any) {
+	if w.err == nil {
+		w.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) {
+	w.buf[0] = v
+	w.write(w.buf[:1])
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I64 writes an int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 writes a float64 by bit pattern (exact round trip, NaN included).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	if len(s) > math.MaxUint32 {
+		w.Fail("string of %d bytes", len(s))
+		return
+	}
+	w.U32(uint32(len(s)))
+	w.write([]byte(s))
+}
+
+// Section writes a section marker that Reader.Section verifies.
+func (w *Writer) Section(name string) { w.String(name) }
+
+// Len writes a u32 count header, the counterpart of Reader.Len. Use it
+// for every explicit element count a reader will consume via Len.
+func (w *Writer) Len(n int) {
+	if n < 0 {
+		w.Fail("negative length %d", n)
+		return
+	}
+	w.U32(uint32(n))
+}
+
+// I64s writes a length-prefixed []int64.
+func (w *Writer) I64s(v []int64) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.I64(x)
+	}
+}
+
+// U64s writes a length-prefixed []uint64.
+func (w *Writer) U64s(v []uint64) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.U64(x)
+	}
+}
+
+// Ints writes a length-prefixed []int (as int64s).
+func (w *Writer) Ints(v []int) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.Int(x)
+	}
+}
+
+// Bools writes a length-prefixed []bool.
+func (w *Writer) Bools(v []bool) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.Bool(x)
+	}
+}
+
+// F64s writes a length-prefixed []float64.
+func (w *Writer) F64s(v []float64) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.F64(x)
+	}
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush drains the buffer and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return w.err
+}
+
+// Reader decodes a stream produced by Writer, with a sticky error and
+// caller-supplied caps on every variable-length read.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+	buf [8]byte
+}
+
+// NewReader verifies the stream header and returns a Reader. A magic
+// or version mismatch is an immediate error.
+func NewReader(r io.Reader) (*Reader, error) {
+	sr := &Reader{r: bufio.NewReader(r)}
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(sr.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", magic)
+	}
+	if v := sr.U32(); v != Version {
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		return nil, fmt.Errorf("snapshot: version %d, this build reads %d", v, Version)
+	}
+	return sr, nil
+}
+
+func (r *Reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		r.err = fmt.Errorf("snapshot: truncated stream: %w", err)
+	}
+}
+
+// Fail records err (the first failure sticks) — for component loaders
+// that detect an invalid decoded value.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	r.read(r.buf[:1])
+	if r.err != nil {
+		return 0
+	}
+	return r.buf[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	r.read(r.buf[:4])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	r.read(r.buf[:8])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int64 into an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a bool; any byte other than 0 or 1 is an error.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail("invalid bool byte")
+		return false
+	}
+}
+
+// F64 reads a float64 by bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Len reads a u32 length header and fails if it exceeds max — the cap
+// is enforced before any allocation.
+func (r *Reader) Len(max int) int {
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n) > int64(max) {
+		r.Fail("length %d exceeds cap %d", n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string of at most max bytes.
+func (r *Reader) String(max int) string {
+	n := r.Len(max)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	r.read(b)
+	if r.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Section reads a section marker and fails unless it matches name.
+func (r *Reader) Section(name string) {
+	got := r.String(MaxString)
+	if r.err == nil && got != name {
+		r.Fail("expected section %q, found %q", name, got)
+	}
+}
+
+// I64s reads a length-prefixed []int64 of at most max elements.
+func (r *Reader) I64s(max int) []int64 {
+	n := r.Len(max)
+	if r.err != nil {
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = r.I64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return v
+}
+
+// U64s reads a length-prefixed []uint64 of at most max elements.
+func (r *Reader) U64s(max int) []uint64 {
+	n := r.Len(max)
+	if r.err != nil {
+		return nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = r.U64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return v
+}
+
+// Ints reads a length-prefixed []int of at most max elements.
+func (r *Reader) Ints(max int) []int {
+	n := r.Len(max)
+	if r.err != nil {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = r.Int()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return v
+}
+
+// Bools reads a length-prefixed []bool of at most max elements.
+func (r *Reader) Bools(max int) []bool {
+	n := r.Len(max)
+	if r.err != nil {
+		return nil
+	}
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = r.Bool()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return v
+}
+
+// F64s reads a length-prefixed []float64 of at most max elements.
+func (r *Reader) F64s(max int) []float64 {
+	n := r.Len(max)
+	if r.err != nil {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.F64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return v
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }

@@ -1,0 +1,226 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section("test.section")
+	w.U8(0xab)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.Int(-7)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(math.Pi)
+	w.F64(math.Inf(-1))
+	w.String("hello")
+	w.String("")
+	w.I64s([]int64{1, -2, 3})
+	w.U64s([]uint64{9, 8})
+	w.Ints([]int{-1, 0, 1})
+	w.Bools([]bool{true, false, true})
+	w.F64s([]float64{0.5, -0.25})
+	w.Len(3)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("test.section")
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if got := r.String(16); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(16); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := r.I64s(8); len(got) != 3 || got[1] != -2 {
+		t.Errorf("I64s = %v", got)
+	}
+	if got := r.U64s(8); len(got) != 2 || got[0] != 9 {
+		t.Errorf("U64s = %v", got)
+	}
+	if got := r.Ints(8); len(got) != 3 || got[0] != -1 {
+		t.Errorf("Ints = %v", got)
+	}
+	if got := r.Bools(8); len(got) != 3 || !got[2] {
+		t.Errorf("Bools = %v", got)
+	}
+	if got := r.F64s(8); len(got) != 2 || got[1] != -0.25 {
+		t.Errorf("F64s = %v", got)
+	}
+	if got := r.Len(8); got != 3 {
+		t.Errorf("Len = %d", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := NewReader(strings.NewReader("NOTASNAP\x01\x00\x00\x00")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Flush()
+	b := buf.Bytes()
+	// Corrupt the version field.
+	b[len(Magic)] = 0xEE
+	if _, err := NewReader(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestLenCap(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Len(100)
+	w.Flush()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Len(10); n != 0 {
+		t.Errorf("over-cap Len returned %d", n)
+	}
+	if r.Err() == nil {
+		t.Error("over-cap Len did not error")
+	}
+}
+
+func TestStringCap(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.String(strings.Repeat("x", 64))
+	w.Flush()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.String(8); s != "" {
+		t.Errorf("over-cap String returned %q", s)
+	}
+	if r.Err() == nil {
+		t.Error("over-cap String did not error")
+	}
+}
+
+func TestSectionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section("alpha")
+	w.Flush()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("beta")
+	if r.Err() == nil {
+		t.Error("section mismatch accepted")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section("s")
+	w.I64s([]int64{1, 2, 3, 4})
+	w.Flush()
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue
+		}
+		r.Section("s")
+		r.I64s(8)
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d/%d went unnoticed", cut, len(full))
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(mustHeaderOnly(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.U64() // past EOF
+	first := r.Err()
+	if first == nil {
+		t.Fatal("read past EOF did not error")
+	}
+	r.U64()
+	r.String(8)
+	if r.Err() != first {
+		t.Error("error was not sticky")
+	}
+}
+
+func TestWriterFail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Fail("deliberate: %d", 7)
+	if w.Err() == nil {
+		t.Fatal("Fail did not set the error")
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("Flush ignored the failure")
+	}
+}
+
+func TestNegativeLen(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Len(-1)
+	if w.Err() == nil {
+		t.Error("negative Len accepted")
+	}
+}
+
+func mustHeaderOnly(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// CheckpointTrigger bridges an HTTP "checkpoint now" request into the
+// simulation loop. The simulator cannot be checkpointed mid-cycle from
+// another goroutine, so the handler enqueues a request and blocks while
+// the loop — which calls Poll between step chunks — performs the
+// checkpoint on its own goroutine and reports back.
+type CheckpointTrigger struct {
+	mu      sync.Mutex
+	waiters []chan error
+}
+
+// NewCheckpointTrigger returns an idle trigger.
+func NewCheckpointTrigger() *CheckpointTrigger {
+	return &CheckpointTrigger{}
+}
+
+// Request asks the simulation loop for a checkpoint and blocks until
+// the loop services it (returning the checkpoint's outcome) or ctx
+// expires. Safe for concurrent use; concurrent requests are all
+// answered by the next Poll.
+func (t *CheckpointTrigger) Request(ctx context.Context) error {
+	ch := make(chan error, 1)
+	t.mu.Lock()
+	t.waiters = append(t.waiters, ch)
+	t.mu.Unlock()
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Poll runs fn if any checkpoint requests are pending and delivers its
+// outcome to every blocked requester. The simulation loop calls it at
+// safe points (between step chunks); it is cheap when idle.
+func (t *CheckpointTrigger) Poll(fn func() error) {
+	t.mu.Lock()
+	waiters := t.waiters
+	t.waiters = nil
+	t.mu.Unlock()
+	if len(waiters) == 0 {
+		return
+	}
+	err := fn()
+	for _, ch := range waiters {
+		ch <- err
+	}
+}
+
+// errNoCheckpoint is returned on /checkpoint when no trigger is wired.
+var errNoCheckpoint = errors.New("checkpointing not enabled")
+
+// handleCheckpoint serves POST /checkpoint: it triggers an on-demand
+// checkpoint at the simulator's next safe point and returns once the
+// snapshot file is durably on disk.
+func handleCheckpoint(t *CheckpointTrigger) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if t == nil {
+			http.Error(w, errNoCheckpoint.Error(), http.StatusNotFound)
+			return
+		}
+		if err := t.Request(r.Context()); err != nil {
+			http.Error(w, fmt.Sprintf("checkpoint failed: %v", err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "checkpoint written")
+	}
+}

@@ -31,6 +31,11 @@ type Config struct {
 
 	// Progress feeds /progress and the fqms_progress_* gauges.
 	Progress *Progress
+
+	// Checkpoint feeds POST /checkpoint: each request triggers an
+	// on-demand snapshot at the simulation loop's next safe point and
+	// returns once the file is on disk. Nil leaves the endpoint 404.
+	Checkpoint *CheckpointTrigger
 }
 
 // Server is a running status server. Start it with Start, stop it with
@@ -90,6 +95,7 @@ func newMux(cfg Config) *http.ServeMux {
 			"/series         JSON per-epoch metric deltas (?since=<cycle>)\n"+
 			"/fairness       JSON per-thread service-share series (?since=<cycle>)\n"+
 			"/progress       JSON sweep progress\n"+
+			"/checkpoint     POST: write a checkpoint at the next safe point\n"+
 			"/debug/pprof/   Go profiling\n")
 	})
 
@@ -137,6 +143,8 @@ func newMux(cfg Config) *http.ServeMux {
 		}
 		writeJSON(w, snap)
 	})
+
+	mux.HandleFunc("/checkpoint", handleCheckpoint(cfg.Checkpoint))
 
 	// pprof is wired explicitly because the server uses its own mux
 	// (importing net/http/pprof only registers on the default one).
