@@ -6,7 +6,21 @@
 //
 // Usage:
 //
-//	benchjson [-warmup N] [-cycles N] [-strict] [-metrics] [-sample] [-seed N]
+//	benchjson [-warmup N] [-cycles N] [-channels 1,2,4] [-workers N]
+//	          [-strict] [-metrics] [-sample] [-seed N]
+//	          [-check baseline.json] [-tol 0.05] [-bless out.json]
+//
+// Each workload is measured across every channel count in -channels,
+// serially and (when -workers > 1) with intra-run parallelism; results
+// are bit-identical between the two, so the report records only the
+// wall-clock difference, plus the heap allocations per simulated
+// kilocycle (the steady-state budget is zero).
+//
+// -check compares this run's throughput against a previously recorded
+// report and exits nonzero if any configuration regressed by more than
+// -tol (relative); CI runs this against the committed
+// BENCH_baseline.json. -bless writes the fresh report to the named
+// file, atomically, for intentional re-baselining.
 //
 // With -strict each configuration is additionally run with the
 // event-driven fast path disabled (the per-cycle oracle), and the
@@ -27,6 +41,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -39,6 +55,8 @@ type run struct {
 	Name            string   `json:"name"`
 	Workload        []string `json:"workload"`
 	Policy          string   `json:"policy"`
+	Channels        int      `json:"channels"`
+	Workers         int      `json:"workers"`
 	Strict          bool     `json:"strict"`
 	Metrics         bool     `json:"metrics,omitempty"`
 	Sampled         bool     `json:"sampled,omitempty"`
@@ -47,27 +65,31 @@ type run struct {
 	WallSeconds     float64  `json:"wall_seconds"`
 	MSimCyclesPerS  float64  `json:"msimcycles_per_sec"`
 	KReqsPerS       float64  `json:"kreqs_per_sec"`
+	AllocsPerKCycle float64  `json:"allocs_per_kcycle"`
 }
 
 // report is the emitted JSON document.
 type report struct {
-	Timestamp string  `json:"timestamp"`
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	NumCPU    int     `json:"num_cpu"`
-	Warmup    int64   `json:"warmup_cycles"`
-	Cycles    int64   `json:"measured_cycles"`
-	Seed      uint64  `json:"seed"`
+	Timestamp       string  `json:"timestamp"`
+	GoVersion       string  `json:"go_version"`
+	GOOS            string  `json:"goos"`
+	GOARCH          string  `json:"goarch"`
+	NumCPU          int     `json:"num_cpu"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Warmup          int64   `json:"warmup_cycles"`
+	Cycles          int64   `json:"measured_cycles"`
+	Seed            uint64  `json:"seed"`
 	Runs            []run   `json:"runs"`
 	Speedups        []ratio `json:"speedups,omitempty"`
 	Overheads       []ratio `json:"metrics_overheads,omitempty"`
 	SampleOverheads []ratio `json:"sample_overheads,omitempty"`
+	ParSpeedups     []ratio `json:"parallel_speedups,omitempty"`
 }
 
 // ratio records a throughput ratio between two runs of one
 // configuration: the event-driven speedup over the strict oracle
-// (-strict), or the plain-over-instrumented metrics overhead (-metrics).
+// (-strict), the plain-over-instrumented metrics overhead (-metrics),
+// or the parallel-over-serial speedup (-workers).
 type ratio struct {
 	Name    string  `json:"name"`
 	Speedup float64 `json:"ratio"`
@@ -84,7 +106,36 @@ var configs = []struct {
 	{"heavy-4xart", []string{"art", "art", "art", "art"}},
 }
 
-func measure(benches []string, warmup, cycles int64, seed uint64, strict, instrumented, sampled bool) (run, error) {
+type measureOpts struct {
+	channels     int
+	workers      int
+	strict       bool
+	instrumented bool
+	sampled      bool
+}
+
+// measureBest runs measure repeat times and keeps the fastest run:
+// throughput is noise-floored (scheduling, frequency scaling, shared
+// CI machines all slow a run down, nothing speeds it up), so best-of-N
+// is the stable estimator a regression gate needs.
+func measureBest(benches []string, warmup, cycles int64, seed uint64, repeat int, o measureOpts) (run, error) {
+	best, err := measure(benches, warmup, cycles, seed, o)
+	if err != nil {
+		return run{}, err
+	}
+	for i := 1; i < repeat; i++ {
+		r, err := measure(benches, warmup, cycles, seed, o)
+		if err != nil {
+			return run{}, err
+		}
+		if r.MSimCyclesPerS > best.MSimCyclesPerS {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+func measure(benches []string, warmup, cycles int64, seed uint64, o measureOpts) (run, error) {
 	profiles := make([]trace.Profile, len(benches))
 	for i, n := range benches {
 		p, err := trace.ByName(n)
@@ -97,23 +148,26 @@ func measure(benches []string, warmup, cycles int64, seed uint64, strict, instru
 		Workload: profiles,
 		Policy:   sim.FQVFTF,
 		Seed:     seed,
-		Strict:   strict,
+		Strict:   o.strict,
+		Workers:  o.workers,
 	}
+	cfg.Mem.Channels = o.channels
 	var tw *metrics.TraceWriter
-	if instrumented {
+	if o.instrumented {
 		// Metrics plus a trace streamed to a discarding writer: the
 		// worst-case fully-instrumented configuration.
 		cfg.Metrics = metrics.New()
 		tw = metrics.NewTraceWriter(io.Discard)
 		cfg.Trace = tw
 	}
-	if sampled {
+	if o.sampled {
 		cfg.SampleInterval = metrics.DefaultSampleInterval
 	}
 	s, err := sim.New(cfg)
 	if err != nil {
 		return run{}, err
 	}
+	defer s.Close()
 	s.Step(warmup)
 	countReqs := func() int64 {
 		var n int64
@@ -124,9 +178,12 @@ func measure(benches []string, warmup, cycles int64, seed uint64, strict, instru
 		return n
 	}
 	base := countReqs()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	s.Step(cycles)
 	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
 	if elapsed <= 0 {
 		elapsed = 1e-9
 	}
@@ -139,37 +196,111 @@ func measure(benches []string, warmup, cycles int64, seed uint64, strict, instru
 	return run{
 		Workload:        benches,
 		Policy:          "FQ-VFTF",
-		Strict:          strict,
-		Metrics:         instrumented,
-		Sampled:         sampled,
+		Channels:        o.channels,
+		Workers:         o.workers,
+		Strict:          o.strict,
+		Metrics:         o.instrumented,
+		Sampled:         o.sampled,
 		SimulatedCycles: cycles,
 		RequestsDone:    reqs,
 		WallSeconds:     elapsed,
 		MSimCyclesPerS:  float64(cycles) / elapsed / 1e6,
 		KReqsPerS:       float64(reqs) / elapsed / 1e3,
+		AllocsPerKCycle: float64(ms1.Mallocs-ms0.Mallocs) / (float64(cycles) / 1e3),
 	}, nil
+}
+
+// check compares the fresh report against a recorded baseline and
+// returns the configurations whose throughput regressed beyond tol.
+// Runs missing from either side are reported but never fail the gate,
+// so adding or retiring configurations does not require a lockstep
+// baseline update.
+func check(fresh report, baselinePath string, tol float64, out io.Writer) (regressions []string, err error) {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base report
+	if err := json.Unmarshal(b, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	baseByName := make(map[string]run, len(base.Runs))
+	for _, r := range base.Runs {
+		baseByName[r.Name] = r
+	}
+	for _, r := range fresh.Runs {
+		br, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Fprintf(out, "  %-40s %8.3f Msimcycles/s  (new, no baseline)\n", r.Name, r.MSimCyclesPerS)
+			continue
+		}
+		delete(baseByName, r.Name)
+		rel := r.MSimCyclesPerS/br.MSimCyclesPerS - 1
+		verdict := "ok"
+		if rel < -tol {
+			verdict = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.3f -> %.3f Msimcycles/s (%+.1f%%, tolerance %.1f%%)",
+					r.Name, br.MSimCyclesPerS, r.MSimCyclesPerS, rel*100, tol*100))
+		}
+		fmt.Fprintf(out, "  %-40s %8.3f vs %8.3f Msimcycles/s  %+6.1f%%  %s\n",
+			r.Name, r.MSimCyclesPerS, br.MSimCyclesPerS, rel*100, verdict)
+	}
+	for name := range baseByName {
+		fmt.Fprintf(out, "  %-40s (in baseline only, not measured this run)\n", name)
+	}
+	return regressions, nil
+}
+
+func parseChannels(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad channel count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func main() {
 	var (
-		warmup = flag.Int64("warmup", 50_000, "unmeasured warmup cycles per configuration")
-		cycles = flag.Int64("cycles", 2_000_000, "measured simulated cycles per configuration")
+		warmup   = flag.Int64("warmup", 50_000, "unmeasured warmup cycles per configuration")
+		cycles   = flag.Int64("cycles", 2_000_000, "measured simulated cycles per configuration")
 		seed     = flag.Uint64("seed", 0, "trace generator seed")
+		channels = flag.String("channels", "1,2,4", "comma-separated channel counts to sweep")
+		workers  = flag.Int("workers", 8, "intra-run workers for the parallel runs (<=1 disables them)")
 		strict   = flag.Bool("strict", false, "also measure the per-cycle oracle and report speedups")
 		withMet  = flag.Bool("metrics", false, "also measure with metrics+trace enabled and report overheads")
 		withSamp = flag.Bool("sample", false, "also measure with epoch sampling enabled and report overheads")
+		repeat   = flag.Int("repeat", 1, "measure each configuration this many times and keep the fastest (noise floor for the gate)")
+		checkOpt = flag.String("check", "", "compare against this baseline report; exit 1 on any regression beyond -tol")
+		tol      = flag.Float64("tol", 0.05, "relative throughput regression tolerance for -check")
+		bless    = flag.String("bless", "", "write the fresh report to this file (atomic), recording a new baseline")
 	)
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	chans, err := parseChannels(*channels)
+	if err != nil {
+		fail(err)
+	}
+
 	rep := report{
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Warmup:    *warmup,
-		Cycles:    *cycles,
-		Seed:      *seed,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Warmup:     *warmup,
+		Cycles:     *cycles,
+		Seed:       *seed,
 	}
 
 	for _, c := range configs {
@@ -177,58 +308,105 @@ func main() {
 		if benches == nil {
 			benches = trace.FourCoreWorkloads()[0]
 		}
-		fast, err := measure(benches, *warmup, *cycles, *seed, false, false, false)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-		fast.Name = c.name
-		rep.Runs = append(rep.Runs, fast)
-		if *strict {
-			slow, err := measure(benches, *warmup, *cycles, *seed, true, false, false)
+		for _, nch := range chans {
+			base := fmt.Sprintf("%s/ch=%d", c.name, nch)
+			serial, err := measureBest(benches, *warmup, *cycles, *seed, *repeat, measureOpts{channels: nch})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				os.Exit(1)
+				fail(err)
 			}
-			slow.Name = c.name + "-strict"
-			rep.Runs = append(rep.Runs, slow)
-			rep.Speedups = append(rep.Speedups, ratio{
-				Name:    c.name,
-				Speedup: fast.MSimCyclesPerS / slow.MSimCyclesPerS,
-			})
+			serial.Name = base + "/serial"
+			rep.Runs = append(rep.Runs, serial)
+			if *workers > 1 {
+				par, err := measureBest(benches, *warmup, *cycles, *seed, *repeat, measureOpts{channels: nch, workers: *workers})
+				if err != nil {
+					fail(err)
+				}
+				par.Name = base + "/par"
+				rep.Runs = append(rep.Runs, par)
+				rep.ParSpeedups = append(rep.ParSpeedups, ratio{
+					Name:    base,
+					Speedup: par.MSimCyclesPerS / serial.MSimCyclesPerS,
+				})
+			}
 		}
-		if *withMet {
-			inst, err := measure(benches, *warmup, *cycles, *seed, false, true, false)
+		// The strict/metrics/sampling comparison runs stay on the default
+		// channel configuration, preserving the recorded trajectory's
+		// original shape.
+		if *strict || *withMet || *withSamp {
+			fast, err := measureBest(benches, *warmup, *cycles, *seed, *repeat, measureOpts{})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				os.Exit(1)
+				fail(err)
 			}
-			inst.Name = c.name + "-metrics"
-			rep.Runs = append(rep.Runs, inst)
-			rep.Overheads = append(rep.Overheads, ratio{
-				Name:    c.name,
-				Speedup: fast.MSimCyclesPerS / inst.MSimCyclesPerS,
-			})
-		}
-		if *withSamp {
-			samp, err := measure(benches, *warmup, *cycles, *seed, false, false, true)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				os.Exit(1)
+			fast.Name = c.name
+			rep.Runs = append(rep.Runs, fast)
+			if *strict {
+				slow, err := measureBest(benches, *warmup, *cycles, *seed, *repeat, measureOpts{strict: true})
+				if err != nil {
+					fail(err)
+				}
+				slow.Name = c.name + "-strict"
+				rep.Runs = append(rep.Runs, slow)
+				rep.Speedups = append(rep.Speedups, ratio{
+					Name:    c.name,
+					Speedup: fast.MSimCyclesPerS / slow.MSimCyclesPerS,
+				})
 			}
-			samp.Name = c.name + "-sampled"
-			rep.Runs = append(rep.Runs, samp)
-			rep.SampleOverheads = append(rep.SampleOverheads, ratio{
-				Name:    c.name,
-				Speedup: fast.MSimCyclesPerS / samp.MSimCyclesPerS,
-			})
+			if *withMet {
+				inst, err := measureBest(benches, *warmup, *cycles, *seed, *repeat, measureOpts{instrumented: true})
+				if err != nil {
+					fail(err)
+				}
+				inst.Name = c.name + "-metrics"
+				rep.Runs = append(rep.Runs, inst)
+				rep.Overheads = append(rep.Overheads, ratio{
+					Name:    c.name,
+					Speedup: fast.MSimCyclesPerS / inst.MSimCyclesPerS,
+				})
+			}
+			if *withSamp {
+				samp, err := measureBest(benches, *warmup, *cycles, *seed, *repeat, measureOpts{sampled: true})
+				if err != nil {
+					fail(err)
+				}
+				samp.Name = c.name + "-sampled"
+				rep.Runs = append(rep.Runs, samp)
+				rep.SampleOverheads = append(rep.SampleOverheads, ratio{
+					Name:    c.name,
+					Speedup: fast.MSimCyclesPerS / samp.MSimCyclesPerS,
+				})
+			}
 		}
 	}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	out = append(out, '\n')
+	os.Stdout.Write(out)
+
+	if *bless != "" {
+		tmp := *bless + ".tmp"
+		if err := os.WriteFile(tmp, out, 0o644); err != nil {
+			fail(err)
+		}
+		if err := os.Rename(tmp, *bless); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: baseline written to %s\n", *bless)
+	}
+	if *checkOpt != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: checking against %s (tolerance %.1f%%)\n", *checkOpt, *tol*100)
+		regs, err := check(rep, *checkOpt, *tol, os.Stderr)
+		if err != nil {
+			fail(err)
+		}
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: no regressions beyond tolerance")
 	}
 }

@@ -6,8 +6,14 @@
 // Usage:
 //
 //	experiments [-fig 1|4|5|6|7|8|9|all] [-warmup N] [-window N] [-seed N]
+//	            [-workers N] [-intra-workers N]
 //	            [-serve addr] [-series-dir dir] [-sample-interval N]
 //	            [-checkpoint-dir dir] [-checkpoint-every N] [-resume]
+//
+// -workers caps the sweep's total worker goroutines; -intra-workers
+// parallelizes each simulation internally (bit-identical results), and
+// the run-level fan-out shrinks to workers/intra-workers so the two
+// never oversubscribe the machine together.
 //
 // -serve exposes sweep progress (figures done, simulated cycles per
 // second) and, once runs sample, the usual telemetry endpoints over
@@ -39,7 +45,9 @@ func main() {
 		warmup    = flag.Int64("warmup", 50_000, "warmup cycles per run")
 		window    = flag.Int64("window", 400_000, "measurement cycles per run")
 		seed      = flag.Uint64("seed", 0, "trace generator seed")
-		par       = flag.Int("parallel", 8, "concurrent simulations")
+		par       = flag.Int("parallel", 8, "concurrent simulations (superseded by -workers when set)")
+		workers   = flag.Int("workers", 0, "total worker-goroutine budget shared between concurrent runs and intra-run workers (0 = use -parallel)")
+		intra     = flag.Int("intra-workers", 0, "intra-run workers per simulation; results stay bit-identical (0 = serial runs)")
 		serveAddr = flag.String("serve", "", "serve sweep progress over HTTP on this address (e.g. 127.0.0.1:9300)")
 		seriesDir = flag.String("series-dir", "", "write per-run time-series artifacts into this directory")
 		sampleInt = flag.Int64("sample-interval", 0, "epoch sampling interval in cycles (0 = auto: 10000 when -series-dir is set, else off)")
@@ -54,7 +62,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := exp.Config{Warmup: *warmup, Window: *window, Seed: *seed, Parallel: *par}
+	cfg := exp.Config{Warmup: *warmup, Window: *window, Seed: *seed, Parallel: *par,
+		Workers: *workers, IntraWorkers: *intra}
 	cfg.SampleInterval = *sampleInt
 	if cfg.SampleInterval == 0 && *seriesDir != "" {
 		cfg.SampleInterval = metrics.DefaultSampleInterval

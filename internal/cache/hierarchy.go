@@ -76,10 +76,14 @@ type Hierarchy struct {
 	free   int
 
 	// sendQ holds MSHR tokens whose fetch has not yet been accepted by
-	// the memory controller.
-	sendQ []int
-	// wbQ holds dirty line addresses to be written to memory.
-	wbQ []uint64
+	// the memory controller; consumed from sendHead so the backing
+	// array is reused once drained (no steady-state allocation).
+	sendQ    []int
+	sendHead int
+	// wbQ holds dirty line addresses to be written to memory, consumed
+	// from wbHead likewise.
+	wbQ    []uint64
+	wbHead int
 
 	// Statistics.
 	L2MissCount  int64
@@ -205,36 +209,46 @@ func (h *Hierarchy) pushWriteback(lineAddr uint64) {
 // NextFetch returns the next MSHR fetch awaiting acceptance by the
 // memory controller, without consuming it.
 func (h *Hierarchy) NextFetch() (lineAddr uint64, token int, ok bool) {
-	if len(h.sendQ) == 0 {
+	if h.sendHead >= len(h.sendQ) {
 		return 0, 0, false
 	}
-	idx := h.sendQ[0]
+	idx := h.sendQ[h.sendHead]
 	return h.mshrs[idx].lineAddr, idx, true
 }
 
 // FetchAccepted consumes the head of the fetch queue after the memory
 // controller accepted it.
 func (h *Hierarchy) FetchAccepted() {
-	idx := h.sendQ[0]
+	idx := h.sendQ[h.sendHead]
 	h.mshrs[idx].sent = true
-	h.sendQ = h.sendQ[1:]
+	h.sendHead++
+	if h.sendHead == len(h.sendQ) {
+		h.sendQ = h.sendQ[:0]
+		h.sendHead = 0
+	}
 }
 
 // NextWriteback returns the next dirty writeback awaiting acceptance.
 func (h *Hierarchy) NextWriteback() (lineAddr uint64, ok bool) {
-	if len(h.wbQ) == 0 {
+	if h.wbHead >= len(h.wbQ) {
 		return 0, false
 	}
-	return h.wbQ[0], true
+	return h.wbQ[h.wbHead], true
 }
 
 // WritebackAccepted consumes the head of the writeback queue.
-func (h *Hierarchy) WritebackAccepted() { h.wbQ = h.wbQ[1:] }
+func (h *Hierarchy) WritebackAccepted() {
+	h.wbHead++
+	if h.wbHead == len(h.wbQ) {
+		h.wbQ = h.wbQ[:0]
+		h.wbHead = 0
+	}
+}
 
 // WritebackQueueFull reports whether the writeback queue is at capacity;
 // fills must stall until it drains.
 func (h *Hierarchy) WritebackQueueFull() bool {
-	return h.cfg.WBQueueCap > 0 && len(h.wbQ) >= h.cfg.WBQueueCap
+	return h.cfg.WBQueueCap > 0 && len(h.wbQ)-h.wbHead >= h.cfg.WBQueueCap
 }
 
 // Fill delivers the memory response for the MSHR token: the line is

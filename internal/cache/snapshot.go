@@ -75,8 +75,11 @@ func (h *Hierarchy) SaveState(w *snapshot.Writer) {
 		w.Bool(m.store)
 		w.Bool(m.ifetch)
 	}
-	w.Ints(h.sendQ)
-	w.U64s(h.wbQ)
+	// Only the live (unconsumed) regions are written, so the head
+	// indices need not be serialized and checkpoint bytes are identical
+	// regardless of how far each queue has been consumed in place.
+	w.Ints(h.sendQ[h.sendHead:])
+	w.U64s(h.wbQ[h.wbHead:])
 	w.I64(h.L2MissCount)
 	w.I64(h.Writebacks)
 	w.I64(h.MSHRFullNACK)
@@ -143,7 +146,9 @@ func (h *Hierarchy) LoadState(r *snapshot.Reader) error {
 	h.byAddr = byAddr
 	h.free = free
 	h.sendQ = sendQ
+	h.sendHead = 0
 	h.wbQ = wbQ
+	h.wbHead = 0
 	h.L2MissCount = l2Miss
 	h.Writebacks = wbs
 	h.MSHRFullNACK = nacks

@@ -87,7 +87,7 @@ type Figure4Result struct {
 func (r *Runner) Figure4() (Figure4Result, error) {
 	names := allBenchmarks()
 	rows := make([]Figure4Row, len(names))
-	err := parallelDo(len(names), func(i int) error {
+	err := r.parallelDo(len(names), func(i int) error {
 		tr, err := r.Solo(names[i], 1)
 		if err != nil {
 			return err
@@ -163,7 +163,7 @@ func (r *Runner) TwoCore() (TwoCoreResult, error) {
 		rows [3]SubjectRow
 	}
 	cells := make([]cell, len(subjects))
-	err := parallelDo(len(subjects), func(i int) error {
+	err := r.parallelDo(len(subjects), func(i int) error {
 		sub := subjects[i]
 		subBase, err := r.Solo(sub, 2)
 		if err != nil {

@@ -45,7 +45,7 @@ type Figure8Result struct {
 func (r *Runner) Figure8() (Figure8Result, error) {
 	wls := trace.FourCoreWorkloads()
 	out := Figure8Result{Outcomes: make([]WorkloadOutcome, len(wls)*len(policies))}
-	err := parallelDo(len(wls)*len(policies), func(k int) error {
+	err := r.parallelDo(len(wls)*len(policies), func(k int) error {
 		wi, pi := k/len(policies), k%len(policies)
 		wl, pol := wls[wi], policies[pi]
 		res, err := r.CoRun(wl, pol.Name)

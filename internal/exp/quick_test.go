@@ -2,6 +2,7 @@ package exp
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -20,7 +21,7 @@ func TestQuick(t *testing.T) {
 		func() error { _, err := r.CoRun([]string{"vpr", "art"}, "FQ-VFTF"); return err },
 		func() error { _, err := r.CoRun([]string{"vpr", "art"}, "FR-FCFS"); return err },
 	}
-	if err := parallelDo(len(jobs), func(i int) error { return jobs[i]() }); err != nil {
+	if err := r.parallelDo(len(jobs), func(i int) error { return jobs[i]() }); err != nil {
 		t.Fatal(err)
 	}
 
@@ -53,7 +54,7 @@ func TestQuick(t *testing.T) {
 
 	// parallelDo surfaces a worker's error.
 	boom := errors.New("boom")
-	if err := parallelDo(8, func(i int) error {
+	if err := parallelDo(3, 8, func(i int) error {
 		if i == 5 {
 			return boom
 		}
@@ -69,7 +70,7 @@ func TestQuick(t *testing.T) {
 func TestParallelDoJoinsAllErrors(t *testing.T) {
 	errA := errors.New("worker 2: bad workload")
 	errB := errors.New("worker 6: bad policy")
-	err := parallelDo(8, func(i int) error {
+	err := parallelDo(0, 8, func(i int) error {
 		switch i {
 		case 2:
 			return errA
@@ -84,7 +85,41 @@ func TestParallelDoJoinsAllErrors(t *testing.T) {
 	if !errors.Is(err, errB) {
 		t.Errorf("joined error %v lost the second failure", err)
 	}
-	if err := parallelDo(4, func(int) error { return nil }); err != nil {
+	if err := parallelDo(2, 4, func(int) error { return nil }); err != nil {
 		t.Errorf("all-success parallelDo = %v, want nil", err)
+	}
+}
+
+// TestWorkerBudget checks that the sweep-wide worker budget is divided
+// between run-level fan-out and intra-run parallelism — and that a
+// sweep run with intra-run workers reproduces a serial sweep exactly.
+func TestWorkerBudget(t *testing.T) {
+	for _, tc := range []struct {
+		workers, intra, want int
+	}{
+		{8, 4, 2},
+		{8, 0, 8},
+		{3, 8, 1},
+		{0, 4, 8}, // Workers unset: legacy Parallel default
+	} {
+		r := NewRunner(Config{Warmup: 1, Window: 1, Workers: tc.workers, IntraWorkers: tc.intra})
+		if r.runWorkers != tc.want {
+			t.Errorf("Workers=%d IntraWorkers=%d: runWorkers = %d, want %d",
+				tc.workers, tc.intra, r.runWorkers, tc.want)
+		}
+	}
+
+	serial := NewRunner(Config{Warmup: 5_000, Window: 20_000})
+	par := NewRunner(Config{Warmup: 5_000, Window: 20_000, Workers: 8, IntraWorkers: 4})
+	a, err := serial.CoRun([]string{"vpr", "art"}, "FQ-VFTF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.CoRun([]string{"vpr", "art"}, "FQ-VFTF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("intra-run parallel sweep diverges from serial:\n serial:   %+v\n parallel: %+v", a, b)
 	}
 }

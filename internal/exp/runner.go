@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dram"
 	"repro/internal/sim"
@@ -32,6 +33,20 @@ type Config struct {
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS via
 	// unbounded goroutines; runs are independent and deterministic).
 	Parallel int
+
+	// Workers is the sweep's total worker-goroutine budget, shared
+	// between run-level fan-out and intra-run parallelism: with
+	// IntraWorkers > 1 the run-level concurrency becomes
+	// max(1, Workers/IntraWorkers) so the two dimensions multiply out
+	// to at most Workers busy goroutines instead of oversubscribing
+	// the machine. 0 leaves Parallel in charge.
+	Workers int
+
+	// IntraWorkers is passed to every simulation as sim.Config.Workers
+	// (sharded per-channel scheduling plus concurrent core stepping;
+	// results stay bit-identical to serial). 0 or 1 runs each
+	// simulation serially.
+	IntraWorkers int
 
 	// Audit runs every simulation under the runtime invariant auditor
 	// (see internal/audit); results are identical, violations panic. The
@@ -98,6 +113,9 @@ type Runner struct {
 	memo      map[string]sim.Result
 	simCycles int64
 	limit     chan struct{}
+	// runWorkers is the run-level concurrency implied by the worker
+	// budget; parallelDo spawns exactly this many worker goroutines.
+	runWorkers int
 
 	// stopAfterCheckpoints is a test hook: when > 0, the runner aborts
 	// with errStopped after writing that many checkpoint files,
@@ -132,10 +150,22 @@ func NewRunner(cfg Config) *Runner {
 	if n <= 0 {
 		n = 8
 	}
+	if cfg.Workers > 0 {
+		// Divide the budget between run-level and intra-run fan-out.
+		intra := cfg.IntraWorkers
+		if intra < 1 {
+			intra = 1
+		}
+		n = cfg.Workers / intra
+		if n < 1 {
+			n = 1
+		}
+	}
 	return &Runner{
-		cfg:   cfg,
-		memo:  make(map[string]sim.Result),
-		limit: make(chan struct{}, n),
+		cfg:        cfg,
+		memo:       make(map[string]sim.Result),
+		limit:      make(chan struct{}, n),
+		runWorkers: n,
 	}
 }
 
@@ -184,10 +214,12 @@ func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
 	cfg.Seed = r.cfg.Seed
 	cfg.Audit = cfg.Audit || r.cfg.Audit
 	cfg.SampleInterval = r.cfg.SampleInterval
+	cfg.Workers = r.cfg.IntraWorkers
 	sys, res, stepped, err := r.runSim(key, cfg)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("exp: run %s: %w", key, err)
 	}
+	defer sys.Close()
 	if r.cfg.SampleInterval > 0 && r.cfg.SeriesDir != "" {
 		if err := writeSeries(r.cfg.SeriesDir, key, sys); err != nil {
 			return sim.Result{}, fmt.Errorf("exp: series %s: %w", key, err)
@@ -373,19 +405,39 @@ func (r *Runner) CoRun(benches []string, policy string) (sim.Result, error) {
 	return r.run(key, sim.Config{Workload: ps, Policy: factory})
 }
 
-// parallelDo runs fn(i) for i in [0, n) concurrently. All failures are
-// reported, joined with errors.Join — returning only the first would
-// hide independent failures from the other workers (distinct workloads
-// can fail for distinct reasons, and the caller sees them all at once).
-func parallelDo(n int, fn func(i int) error) error {
+// parallelDo runs fn(i) for i in [0, n) on the runner's run-level
+// worker budget. All failures are reported, joined with errors.Join —
+// returning only the first would hide independent failures from the
+// other workers (distinct workloads can fail for distinct reasons, and
+// the caller sees them all at once).
+func (r *Runner) parallelDo(n int, fn func(i int) error) error {
+	return parallelDo(r.runWorkers, n, fn)
+}
+
+// parallelDo runs fn(i) for i in [0, n) on min(width, n) worker
+// goroutines pulling indices from a shared counter, so the goroutine
+// count — not just the in-flight simulation count — respects the
+// worker budget even when each fn fans out intra-run workers of its
+// own.
+func parallelDo(width, n int, fn func(i int) error) error {
+	if width <= 0 || width > n {
+		width = n
+	}
 	errs := make([]error, n)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for w := 0; w < width; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			errs[i] = fn(i)
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
 	}
 	wg.Wait()
 	return errors.Join(errs...)

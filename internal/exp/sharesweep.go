@@ -48,7 +48,7 @@ func (r *Runner) ShareSweep(bench string) (ShareSweepResult, error) {
 		{Num: 5, Den: 8}, {Num: 3, Den: 4}, {Num: 7, Den: 8},
 	}
 	rows := make([]ShareSweepRow, len(splits))
-	err = parallelDo(len(splits), func(i int) error {
+	err = r.parallelDo(len(splits), func(i int) error {
 		s0 := splits[i]
 		s1 := core.Share{Num: s0.Den - s0.Num, Den: s0.Den}
 		key := fmt.Sprintf("sweep/%s/%v", bench, s0)

@@ -187,15 +187,19 @@ func (s *ThreadStats) AvgReadLatency() float64 {
 // channel completions are FIFO (data-bus occupancy is monotone); across
 // channels the controller keeps one queue per channel.
 type inflightRead struct {
-	req    *core.Request
+	slot   int32 // arena slot of the request
 	doneAt int64
 }
 
+// noSlot marks a candidate that belongs to no request (idle-close
+// precharges).
+const noSlot = int32(-1)
+
 // candidate is one bank scheduler's offer to the channel scheduler.
 type candidate struct {
-	req   *core.Request // nil for idle-close precharges
+	slot  int32 // arena slot; noSlot for idle-close precharges
 	kind  dram.Kind
-	bank  int // flat bank index
+	bank  int  // flat bank index
 	row   int
 	key   int64
 	arr   int64
@@ -207,6 +211,20 @@ type candidate struct {
 	inverted bool
 }
 
+// Channel decision kinds for the schedule/apply split of Tick.
+const (
+	decNone uint8 = iota
+	decRefresh
+	decCmd
+)
+
+// decision is one channel's scheduling outcome for the current cycle,
+// computed read-mostly by ScheduleChannel and applied by TickEnd.
+type decision struct {
+	kind uint8
+	cand candidate
+}
+
 // Controller is the shared memory controller.
 type Controller struct {
 	cfg    Config
@@ -216,7 +234,27 @@ type Controller struct {
 
 	banksPerChan int
 
-	pending      [][]*core.Request // per flat bank
+	// Request storage is a preallocated arena sized to the aggregate
+	// buffer capacity (threads x (read + write entries)), recycled
+	// through a free list: the steady state allocates nothing. Queues
+	// hold arena slot indices; pointers into the arena stay valid for a
+	// request's whole lifetime because the arena never grows.
+	arena     []core.Request
+	freeSlots []int32
+
+	// keys/keyEpoch cache each slot's policy key; a cached key is valid
+	// while keyEpoch[slot] == chanEpoch[channel]. Key is pure in the
+	// request's immutable fields, same-channel policy state, and the
+	// bank state (see the core.Policy contract), all of which are
+	// constant between command issues on the channel, so chanEpoch is
+	// bumped on every command issue (and on InvalidateScheduling) and
+	// nowhere else. keyEpoch[slot] = 0 marks "never computed"; channel
+	// epochs start at 1.
+	keys      []int64
+	keyEpoch  []uint64
+	chanEpoch []uint64
+
+	pending      [][]int32 // per flat bank, arena slots in arrival order
 	pendingTotal int
 
 	readOcc                     []int
@@ -239,8 +277,13 @@ type Controller struct {
 	stats    []ThreadStats
 	cmdCount [6]int64 // by dram.Kind
 
-	// scratch buffer reused across cycles to avoid allocation
-	cands []candidate
+	// Per-channel scheduling scratch and decisions. ScheduleChannel for
+	// channel c writes only dec[c], chanCands[c], and c's partition of
+	// the wake lists / key cache / refresh flags, so distinct channels
+	// can be scheduled concurrently; TickEnd applies the decisions
+	// serially in canonical channel order.
+	dec       []decision
+	chanCands [][]candidate
 
 	// Event-driven scheduling state. bankWake[b] is a conservative lower
 	// bound on the next cycle bankSchedule(b) could offer a candidate;
@@ -302,13 +345,19 @@ func New(cfg Config, policy core.Policy) (*Controller, error) {
 		}
 		mapper = m
 	}
+	nslots := cfg.Threads * (cfg.ReadEntriesPerThread + cfg.WriteEntriesPerThread)
 	c := &Controller{
 		cfg:           cfg,
 		policy:        policy,
 		chans:         chans,
 		mapper:        mapper,
 		banksPerChan:  cfg.DRAM.Banks(),
-		pending:       make([][]*core.Request, nch*cfg.DRAM.Banks()),
+		arena:         make([]core.Request, nslots),
+		freeSlots:     make([]int32, nslots),
+		keys:          make([]int64, nslots),
+		keyEpoch:      make([]uint64, nslots),
+		chanEpoch:     make([]uint64, nch),
+		pending:       make([][]int32, nch*cfg.DRAM.Banks()),
 		readOcc:       make([]int, cfg.Threads),
 		writeOcc:      make([]int, cfg.Threads),
 		inflight:      make([][]inflightRead, nch),
@@ -316,9 +365,25 @@ func New(cfg Config, policy core.Policy) (*Controller, error) {
 		refreshWanted: make([]bool, nch),
 		nextRefreshAt: make([]int64, nch),
 		stats:         make([]ThreadStats, cfg.Threads),
-		cands:         make([]candidate, 0, cfg.DRAM.Banks()),
+		dec:           make([]decision, nch),
+		chanCands:     make([][]candidate, nch),
 		eventDriven:   true,
 		bankWake:      make([]int64, nch*cfg.DRAM.Banks()),
+	}
+	for i := range c.freeSlots {
+		c.freeSlots[i] = int32(i)
+	}
+	for i := range c.chanEpoch {
+		c.chanEpoch[i] = 1
+	}
+	for i := range c.chanCands {
+		c.chanCands[i] = make([]candidate, 0, cfg.DRAM.Banks())
+	}
+	for i := range c.inflight {
+		c.inflight[i] = make([]inflightRead, 0, nslots)
+	}
+	for i := range c.pending {
+		c.pending[i] = make([]int32, 0, 16)
 	}
 	for i := range c.stats {
 		c.stats[i].LatHist = stats.NewHistogram(8, 512) // up to 4096 cycles
@@ -451,6 +516,31 @@ func (c *Controller) InvalidateScheduling() {
 		c.bankWake[i] = 0
 	}
 	c.nextEvent = 0
+	// Out-of-band changes (share reassignment) rewrite policy keys on
+	// every channel, so every cached key is stale too.
+	for i := range c.chanEpoch {
+		c.chanEpoch[i]++
+	}
+}
+
+// allocSlot pops a free arena slot. Occupancy admission in Accept
+// guarantees one exists: the arena is sized to the aggregate buffer
+// capacity.
+func (c *Controller) allocSlot() int32 {
+	n := len(c.freeSlots) - 1
+	if n < 0 {
+		panic("memctrl: request arena exhausted (occupancy accounting bug)")
+	}
+	s := c.freeSlots[n]
+	c.freeSlots = c.freeSlots[:n]
+	return s
+}
+
+// freeSlot recycles an arena slot once nothing can dereference the
+// request anymore: after the completion hooks for reads, after
+// AfterIssue for writes.
+func (c *Controller) freeSlot(s int32) {
+	c.freeSlots = append(c.freeSlots, s)
 }
 
 // CanAccept reports whether Accept would succeed for the thread right
@@ -522,7 +612,8 @@ func (c *Controller) Accept(thread int, lineAddr uint64, isWrite bool, now int64
 	coord := c.mapper.Decode(lineAddr)
 	gb := (coord.Channel*c.cfg.DRAM.Ranks+coord.Rank)*c.cfg.DRAM.BanksPerRank + coord.Bank
 	c.nextID++
-	req := &core.Request{
+	slot := c.allocSlot()
+	c.arena[slot] = core.Request{
 		ID:          c.nextID,
 		Thread:      thread,
 		Addr:        lineAddr,
@@ -536,7 +627,8 @@ func (c *Controller) Accept(thread int, lineAddr uint64, isWrite bool, now int64
 		Channel:     coord.Channel,
 		GlobalBank:  gb,
 	}
-	c.pending[gb] = append(c.pending[gb], req)
+	c.keyEpoch[slot] = 0 // recycled slots carry a stale cached key
+	c.pending[gb] = append(c.pending[gb], slot)
 	c.pendingTotal++
 	// A new request can make its bank schedulable immediately. Wake the
 	// bank at now (not now+1): callers may Accept before Tick within the
@@ -548,7 +640,7 @@ func (c *Controller) Accept(thread int, lineAddr uint64, isWrite bool, now int64
 		c.nextEvent = now
 	}
 	if c.aud != nil {
-		c.aud.OnAccept(req, now)
+		c.aud.OnAccept(&c.arena[slot], now)
 	}
 	if c.met != nil {
 		if isWrite {
@@ -613,15 +705,32 @@ func better(a, b *candidate) bool {
 
 // Tick advances the controller one cycle: completes finished reads,
 // manages refresh, and issues at most one SDRAM command per channel,
-// chosen by the bank and channel schedulers.
+// chosen by the bank and channel schedulers. It is the serial
+// composition of the three phases below; a parallel driver may instead
+// call TickBegin, then ScheduleChannel for every channel (concurrently
+// across channels), then TickEnd, with bit-identical results.
 func (c *Controller) Tick(now int64) {
+	if !c.TickBegin(now) {
+		return
+	}
+	for chIdx := range c.chans {
+		c.ScheduleChannel(chIdx, now)
+	}
+	c.TickEnd(now)
+}
+
+// TickBegin runs the serial head of a tick: the event-driven fast
+// path, read-completion delivery, and the virtual-clock update. It
+// reports whether the scheduling phases (ScheduleChannel + TickEnd)
+// must run; false means the tick is already complete.
+func (c *Controller) TickBegin(now int64) bool {
 	// Event-driven fast path: nothing can happen before nextEvent, so
 	// the whole tick reduces to the virtual-clock update.
 	if c.eventDriven && now < c.nextEvent {
 		if !c.chans[0].InRefresh(now) {
 			c.vclock++
 		}
-		return
+		return false
 	}
 
 	// 1. Deliver reads whose data burst has completed.
@@ -630,23 +739,25 @@ func (c *Controller) Tick(now int64) {
 		head := c.inflightHead[chIdx]
 		for head < len(q) && q[head].doneAt <= now {
 			f := q[head]
-			q[head].req = nil
 			head++
-			st := &c.stats[f.req.Thread]
+			r := &c.arena[f.slot]
+			st := &c.stats[r.Thread]
 			st.ReadsDone++
-			st.ReadLatencySum += f.doneAt - f.req.ArrivalReal
-			st.LatHist.Add(float64(f.doneAt - f.req.ArrivalReal))
-			c.readOcc[f.req.Thread]--
+			st.ReadLatencySum += f.doneAt - r.ArrivalReal
+			st.LatHist.Add(float64(f.doneAt - r.ArrivalReal))
+			c.readOcc[r.Thread]--
 			c.readOccTotal--
 			if c.OnReadDone != nil {
-				c.OnReadDone(f.req, now)
+				c.OnReadDone(r, now)
 			}
 			if c.aud != nil {
-				c.aud.OnReadDone(f.req, f.doneAt, now)
+				c.aud.OnReadDone(r, f.doneAt, now)
 			}
 			if c.tw != nil {
-				c.traceLifetime("read", f.req.Thread, f.req.GlobalBank, f.req.Row, f.req.ArrivalReal, f.doneAt)
+				c.traceLifetime("read", r.Thread, r.GlobalBank, r.Row, r.ArrivalReal, f.doneAt)
 			}
+			// Every completion hook has run; the slot can be recycled.
+			c.freeSlot(f.slot)
 		}
 		if head == len(q) {
 			// Fully drained: reset in place so long runs reuse the
@@ -677,18 +788,88 @@ func (c *Controller) Tick(now int64) {
 	if c.aud != nil {
 		c.aud.OnTick(now)
 	}
+	return true
+}
 
-	// 3. Per channel: refresh management and command scheduling.
-	for chIdx, ch := range c.chans {
-		if now >= c.nextRefreshAt[chIdx] && !c.refreshWanted[chIdx] {
-			c.refreshWanted[chIdx] = true
-			// Pending refresh changes bank scheduling (idle open rows
-			// must drain, activates are suppressed): re-examine the
-			// channel's banks.
-			c.wakeChannel(chIdx, now)
+// ScheduleChannel runs one channel's refresh management and bank
+// schedulers for cycle now and records the outcome in the channel's
+// decision without applying it. It writes only channel-partitioned
+// state — the channel's decision, candidate scratch, bank wake times,
+// refresh-wanted flag, and its requests' cached keys — and reads only
+// state no other channel's schedule phase writes, so distinct channels
+// may be scheduled concurrently. The policy's Key purity contract
+// (core.Policy) is what makes the candidate ranking safe here: Key
+// depends only on request-immutable fields and same-channel policy
+// state, both constant until TickEnd applies the decisions.
+func (c *Controller) ScheduleChannel(chIdx int, now int64) {
+	ch := c.chans[chIdx]
+	d := &c.dec[chIdx]
+	d.kind = decNone
+	if now >= c.nextRefreshAt[chIdx] && !c.refreshWanted[chIdx] {
+		c.refreshWanted[chIdx] = true
+		// Pending refresh changes bank scheduling (idle open rows
+		// must drain, activates are suppressed): re-examine the
+		// channel's banks. nextEvent is not lowered here — TickEnd
+		// recomputes it from the wake lists after every decision.
+		lo := chIdx * c.banksPerChan
+		for b := lo; b < lo+c.banksPerChan; b++ {
+			if c.bankWake[b] > now {
+				c.bankWake[b] = now
+			}
 		}
-		inRefresh := ch.InRefresh(now)
-		if c.refreshWanted[chIdx] && !inRefresh && ch.AllBanksClosed() && ch.Ready(dram.KindRefresh, 0, now) {
+	}
+	inRefresh := ch.InRefresh(now)
+	if c.refreshWanted[chIdx] && !inRefresh && ch.AllBanksClosed() && ch.Ready(dram.KindRefresh, 0, now) {
+		d.kind = decRefresh
+		return
+	}
+	if inRefresh {
+		return
+	}
+
+	// Bank schedulers: each bank offers at most one ready command.
+	// Dormant banks (wake time in the future) are skipped: nothing
+	// that changes their readiness has happened since the wake was
+	// computed, or the wake would have been invalidated.
+	cands := c.chanCands[chIdx][:0]
+	lo := chIdx * c.banksPerChan
+	for b := lo; b < lo+c.banksPerChan; b++ {
+		if c.eventDriven && c.bankWake[b] > now {
+			continue
+		}
+		cand, ok, wake := c.bankSchedule(chIdx, b, now)
+		if ok {
+			c.bankWake[b] = now
+			cands = append(cands, cand)
+		} else {
+			c.bankWake[b] = wake
+		}
+	}
+	c.chanCands[chIdx] = cands
+	if len(cands) == 0 {
+		return
+	}
+
+	// Channel scheduler: select the best ready command.
+	best := &cands[0]
+	for i := 1; i < len(cands); i++ {
+		if better(&cands[i], best) {
+			best = &cands[i]
+		}
+	}
+	d.kind = decCmd
+	d.cand = *best
+}
+
+// TickEnd applies every channel's decision in canonical channel order
+// — the single-threaded merge that keeps parallel scheduling
+// bit-identical to the serial loop — and recomputes the next-event
+// bound.
+func (c *Controller) TickEnd(now int64) {
+	for chIdx, ch := range c.chans {
+		d := &c.dec[chIdx]
+		switch d.kind {
+		case decRefresh:
 			if c.aud != nil {
 				c.aud.OnRefresh(chIdx, now)
 			}
@@ -709,44 +890,11 @@ func (c *Controller) Tick(now int64) {
 			for b := lo; b < lo+c.banksPerChan; b++ {
 				c.bankWake[b] = ch.RefreshEndsAt()
 			}
-			continue
+		case decCmd:
+			c.issue(&d.cand, now)
 		}
-		if inRefresh {
-			continue
-		}
-
-		// Bank schedulers: each bank offers at most one ready command.
-		// Dormant banks (wake time in the future) are skipped: nothing
-		// that changes their readiness has happened since the wake was
-		// computed, or the wake would have been invalidated.
-		c.cands = c.cands[:0]
-		lo := chIdx * c.banksPerChan
-		for b := lo; b < lo+c.banksPerChan; b++ {
-			if c.eventDriven && c.bankWake[b] > now {
-				continue
-			}
-			cand, ok, wake := c.bankSchedule(chIdx, b, now)
-			if ok {
-				c.bankWake[b] = now
-				c.cands = append(c.cands, cand)
-			} else {
-				c.bankWake[b] = wake
-			}
-		}
-		if len(c.cands) == 0 {
-			continue
-		}
-
-		// Channel scheduler: issue the best ready command.
-		best := &c.cands[0]
-		for i := 1; i < len(c.cands); i++ {
-			if better(&c.cands[i], best) {
-				best = &c.cands[i]
-			}
-		}
-		c.issue(best, now)
+		d.kind = decNone
 	}
-
 	if c.eventDriven {
 		c.nextEvent = c.computeNextEvent(now)
 	}
@@ -820,14 +968,17 @@ func (c *Controller) computeNextEvent(now int64) int64 {
 func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int64) {
 	ch := c.chans[chIdx]
 	lb := b % c.banksPerChan
-	reqs := c.pending[b]
-	if len(reqs) == 0 {
+	slots := c.pending[b]
+	// Bank state is a function of (open, openRow, r.Row): hoist the
+	// channel query out of the per-request loop.
+	openRow, open := ch.BankOpen(lb)
+	if len(slots) == 0 {
 		// Closed-row policy: close an idle open row. While a refresh is
 		// pending this also drains the bank.
-		if _, open := ch.BankOpen(lb); open && (c.cfg.RowPolicy == ClosedRow || c.refreshWanted[chIdx]) {
+		if open && (c.cfg.RowPolicy == ClosedRow || c.refreshWanted[chIdx]) {
 			if e := ch.EarliestIssue(dram.KindPrecharge, lb); e <= now {
 				return candidate{
-					req:  nil,
+					slot: noSlot,
 					kind: dram.KindPrecharge,
 					bank: b,
 					key:  int64(1) << 62, // lowest priority
@@ -848,12 +999,14 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 	if rule == core.RuleFQ {
 		// Strict earliest-key selection once the bank has been active
 		// for x cycles; first-ready while closed or freshly activated.
-		if _, open := ch.BankOpen(lb); open && now-ch.LastActivate(lb) >= x {
+		if open && now-ch.LastActivate(lb) >= x {
 			strict = true
 		}
 	}
 
+	epoch := c.chanEpoch[chIdx]
 	var (
+		bestSlot  = noSlot
 		bestReq   *core.Request
 		bestKind  dram.Kind
 		bestKey   int64
@@ -861,11 +1014,33 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 		bestCAS   bool
 		minEarly  = Forever          // non-strict: min EarliestIssue over requests
 		minKey    = int64(1)<<62 - 1 // min key over all requests (metrics only)
+		// EarliestIssue depends only on (kind, bank): memoize per kind
+		// across the request loop. -1 = not yet computed.
+		earlyMemo = [6]int64{-1, -1, -1, -1, -1, -1}
 	)
-	for _, r := range reqs {
-		state := c.bankStateFor(r)
+	for _, slot := range slots {
+		r := &c.arena[slot]
+		var state core.BankState
+		switch {
+		case !open:
+			state = core.BankClosed
+		case openRow == r.Row:
+			state = core.BankHit
+		default:
+			state = core.BankConflict
+		}
 		kind := nextCmdFor(r, state)
-		key := c.policy.Key(r, state)
+		// Cached policy key: valid while the channel epoch is unchanged
+		// (no command issued on the channel, no share reassignment),
+		// because Key is pure in exactly the state those events mutate.
+		var key int64
+		if c.keyEpoch[slot] == epoch {
+			key = c.keys[slot]
+		} else {
+			key = c.policy.Key(r, state)
+			c.keys[slot] = key
+			c.keyEpoch[slot] = epoch
+		}
 		if key < minKey {
 			minKey = key
 		}
@@ -875,18 +1050,22 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 			if bestReq == nil || key < bestKey ||
 				(key == bestKey && (r.Arrival < bestReq.Arrival ||
 					(r.Arrival == bestReq.Arrival && r.ID < bestReq.ID))) {
-				bestReq, bestKind, bestKey = r, kind, key
+				bestSlot, bestReq, bestKind, bestKey = slot, r, kind, key
 			}
 			continue
 		}
-		early := ch.EarliestIssue(kind, lb)
+		early := earlyMemo[kind]
+		if early < 0 {
+			early = ch.EarliestIssue(kind, lb)
+			earlyMemo[kind] = early
+		}
 		if early < minEarly {
 			minEarly = early
 		}
 		ready := early <= now
 		isCAS := kind == dram.KindRead || kind == dram.KindWrite
 		if bestReq == nil {
-			bestReq, bestKind, bestKey, bestReady, bestCAS = r, kind, key, ready, isCAS
+			bestSlot, bestReq, bestKind, bestKey, bestReady, bestCAS = slot, r, kind, key, ready, isCAS
 			continue
 		}
 		// (ready, CAS, key, arrival, id) ordering.
@@ -912,7 +1091,7 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 				continue
 			}
 		}
-		bestReq, bestKind, bestKey, bestReady, bestCAS = r, kind, key, ready, isCAS
+		bestSlot, bestReq, bestKind, bestKey, bestReady, bestCAS = slot, r, kind, key, ready, isCAS
 	}
 	if strict {
 		// The bank waits for the key-selected request alone, so its
@@ -936,7 +1115,7 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 		return candidate{}, false, minEarly
 	}
 	return candidate{
-		req:      bestReq,
+		slot:     bestSlot,
 		kind:     bestKind,
 		bank:     b,
 		row:      bestReq.Row,
@@ -953,9 +1132,14 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 func (c *Controller) issue(cand *candidate, now int64) {
 	c.cmdCount[cand.kind]++
 	ch, lb := c.chanOf(cand.bank)
+	chIdx := cand.bank / c.banksPerChan
 	var acmd audit.Cmd
 	if c.aud != nil {
-		acmd = audit.Cmd{Kind: cand.kind, FlatBank: cand.bank, Row: cand.row, Key: cand.key, Req: cand.req}
+		var areq *core.Request
+		if cand.slot != noSlot {
+			areq = &c.arena[cand.slot]
+		}
+		acmd = audit.Cmd{Kind: cand.kind, FlatBank: cand.bank, Row: cand.row, Key: cand.key, Req: areq}
 		c.aud.BeforeIssue(acmd, now)
 	}
 	if c.met != nil && cand.inverted {
@@ -969,9 +1153,11 @@ func (c *Controller) issue(cand *candidate, now int64) {
 	// Issuing any command moves the channel-global constraints (tCCD,
 	// tWTR, data-bus occupancy), and issuing a request command rewrites
 	// the policy's same-channel keys (see the core.Policy contract), so
-	// every bank wake on this channel is stale.
-	c.wakeChannel(cand.bank/c.banksPerChan, now)
-	if cand.req == nil {
+	// every bank wake on this channel is stale — and so is every cached
+	// key on the channel.
+	c.chanEpoch[chIdx]++
+	c.wakeChannel(chIdx, now)
+	if cand.slot == noSlot {
 		// Idle-close precharge: device state only; no request, and no
 		// VTMS charge (no thread is waiting on it).
 		ch.Issue(dram.KindPrecharge, lb, 0, now)
@@ -983,7 +1169,7 @@ func (c *Controller) issue(cand *candidate, now int64) {
 		}
 		return
 	}
-	r := cand.req
+	r := &c.arena[cand.slot]
 	if r.Issued == 0 {
 		// Record the bank state the request began service in.
 		st := &c.stats[r.Thread]
@@ -1011,12 +1197,13 @@ func (c *Controller) issue(cand *candidate, now int64) {
 	}
 	c.policy.OnIssue(r, core.CmdKind(cand.kind))
 	r.Issued++
+	writeDone := false
 	if cand.kind == dram.KindRead || cand.kind == dram.KindWrite {
-		c.removePending(cand.bank, r)
+		c.removePending(cand.bank, cand.slot)
 		st := &c.stats[r.Thread]
 		st.DataBusCycles += int64(c.cfg.DRAM.Timing.BL2)
 		if cand.kind == dram.KindRead {
-			c.inflight[r.Channel] = append(c.inflight[r.Channel], inflightRead{req: r, doneAt: dataEnd})
+			c.inflight[r.Channel] = append(c.inflight[r.Channel], inflightRead{slot: cand.slot, doneAt: dataEnd})
 		} else {
 			st.WritesDone++
 			c.writeOcc[r.Thread]--
@@ -1024,24 +1211,29 @@ func (c *Controller) issue(cand *candidate, now int64) {
 			if c.tw != nil {
 				c.traceLifetime("write", r.Thread, cand.bank, r.Row, r.ArrivalReal, dataEnd)
 			}
+			writeDone = true
 		}
 	}
 	if c.aud != nil {
 		c.aud.AfterIssue(acmd, now)
 	}
+	if writeDone {
+		// A write retires at its CAS; every hook above has seen the
+		// request, so the slot can be recycled.
+		c.freeSlot(cand.slot)
+	}
 }
 
 // removePending deletes a request from its bank queue, preserving order.
-func (c *Controller) removePending(bank int, r *core.Request) {
+func (c *Controller) removePending(bank int, slot int32) {
 	q := c.pending[bank]
 	for i, x := range q {
-		if x == r {
+		if x == slot {
 			copy(q[i:], q[i+1:])
-			q[len(q)-1] = nil
 			c.pending[bank] = q[:len(q)-1]
 			c.pendingTotal--
 			return
 		}
 	}
-	panic(fmt.Sprintf("memctrl: request %d not found in bank %d queue", r.ID, bank))
+	panic(fmt.Sprintf("memctrl: request %d (slot %d) not found in bank %d queue", c.arena[slot].ID, slot, bank))
 }

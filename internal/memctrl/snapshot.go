@@ -23,8 +23,8 @@ func saveRequest(w *snapshot.Writer, q *core.Request) {
 	w.Int(q.Issued)
 }
 
-func loadRequest(r *snapshot.Reader) *core.Request {
-	q := &core.Request{
+func loadRequest(r *snapshot.Reader) core.Request {
+	q := core.Request{
 		ID:          r.U64(),
 		Thread:      r.Int(),
 		Addr:        r.U64(),
@@ -62,8 +62,8 @@ func (c *Controller) SaveState(w *snapshot.Writer) {
 	w.Int(len(c.pending))
 	for _, q := range c.pending {
 		w.Len(len(q))
-		for _, req := range q {
-			saveRequest(w, req)
+		for _, slot := range q {
+			saveRequest(w, &c.arena[slot])
 		}
 	}
 	w.Ints(c.readOcc)
@@ -73,7 +73,7 @@ func (c *Controller) SaveState(w *snapshot.Writer) {
 		live := c.inflight[ch][c.inflightHead[ch]:]
 		w.Len(len(live))
 		for _, f := range live {
-			saveRequest(w, f.req)
+			saveRequest(w, &c.arena[f.slot])
 			w.I64(f.doneAt)
 		}
 	}
@@ -139,12 +139,12 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 		return err
 	}
 	threads := len(c.stats)
-	reqByID := make(map[uint64]*core.Request)
-	pending := make([][]*core.Request, nb)
+	idSeen := make(map[uint64]bool)
+	pending := make([][]core.Request, nb)
 	total := 0
 	for b := 0; b < nb; b++ {
 		n := r.Len(snapshot.MaxSlice)
-		q := make([]*core.Request, 0, n)
+		q := make([]core.Request, 0, n)
 		for i := 0; i < n; i++ {
 			req := loadRequest(r)
 			if r.Err() != nil {
@@ -162,16 +162,17 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 				r.Fail("memctrl.Controller: request %d channel %d out of range [0,%d)", req.ID, req.Channel, nch)
 				return r.Err()
 			}
-			if _, dup := reqByID[req.ID]; dup {
+			if idSeen[req.ID] {
 				r.Fail("memctrl.Controller: duplicate request id %d", req.ID)
 				return r.Err()
 			}
-			reqByID[req.ID] = req
+			idSeen[req.ID] = true
 			q = append(q, req)
 		}
 		pending[b] = q
 		total += len(q)
 	}
+	live := total
 	readOcc := r.Ints(len(c.readOcc))
 	writeOcc := r.Ints(len(c.writeOcc))
 	if r.Err() == nil && (len(readOcc) != len(c.readOcc) || len(writeOcc) != len(c.writeOcc)) {
@@ -185,10 +186,14 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
-	inflight := make([][]inflightRead, nic)
+	type stagedInflight struct {
+		req    core.Request
+		doneAt int64
+	}
+	inflight := make([][]stagedInflight, nic)
 	for ch := 0; ch < nic; ch++ {
 		n := r.Len(snapshot.MaxSlice)
-		q := make([]inflightRead, 0, n)
+		q := make([]stagedInflight, 0, n)
 		for i := 0; i < n; i++ {
 			req := loadRequest(r)
 			doneAt := r.I64()
@@ -199,14 +204,19 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 				r.Fail("memctrl.Controller: inflight request %d thread %d out of range [0,%d)", req.ID, req.Thread, threads)
 				return r.Err()
 			}
-			if _, dup := reqByID[req.ID]; dup {
+			if idSeen[req.ID] {
 				r.Fail("memctrl.Controller: duplicate request id %d", req.ID)
 				return r.Err()
 			}
-			reqByID[req.ID] = req
-			q = append(q, inflightRead{req: req, doneAt: doneAt})
+			idSeen[req.ID] = true
+			q = append(q, stagedInflight{req: req, doneAt: doneAt})
 		}
 		inflight[ch] = q
+		live += len(q)
+	}
+	if live > len(c.arena) {
+		r.Fail("memctrl.Controller: %d live requests exceed arena capacity %d", live, len(c.arena))
+		return r.Err()
 	}
 	nextID := r.U64()
 	vclock := r.I64()
@@ -272,7 +282,32 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
-	copy(c.pending, pending)
+	// Commit. The arena is rebuilt from scratch: every decoded request
+	// gets a fresh slot in decode order. Slot numbers are unobservable —
+	// queues keep their serialized order, ties break on request IDs, and
+	// snapshots are content-based — so the assignment need not match the
+	// saving process's. The key cache is dropped wholesale (keyEpoch 0 is
+	// never a valid channel epoch).
+	c.freeSlots = c.freeSlots[:0]
+	for i := len(c.arena) - 1; i >= 0; i-- {
+		c.freeSlots = append(c.freeSlots, int32(i))
+	}
+	for i := range c.keyEpoch {
+		c.keyEpoch[i] = 0
+	}
+	reqByID := make(map[uint64]*core.Request, live)
+	audPending := make([][]*core.Request, len(pending))
+	for b, q := range pending {
+		c.pending[b] = c.pending[b][:0]
+		audPending[b] = make([]*core.Request, 0, len(q))
+		for i := range q {
+			slot := c.allocSlot()
+			c.arena[slot] = q[i]
+			c.pending[b] = append(c.pending[b], slot)
+			reqByID[q[i].ID] = &c.arena[slot]
+			audPending[b] = append(audPending[b], &c.arena[slot])
+		}
+	}
 	c.pendingTotal = total
 	copy(c.readOcc, readOcc)
 	copy(c.writeOcc, writeOcc)
@@ -283,7 +318,15 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 	for _, n := range writeOcc {
 		c.writeOccTotal += n
 	}
-	copy(c.inflight, inflight)
+	for ch, q := range inflight {
+		c.inflight[ch] = c.inflight[ch][:0]
+		for i := range q {
+			slot := c.allocSlot()
+			c.arena[slot] = q[i].req
+			c.inflight[ch] = append(c.inflight[ch], inflightRead{slot: slot, doneAt: q[i].doneAt})
+			reqByID[q[i].req.ID] = &c.arena[slot]
+		}
+	}
 	for ch := range c.inflightHead {
 		c.inflightHead[ch] = 0
 	}
@@ -296,7 +339,7 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 	copy(c.bankWake, bankWake)
 	c.nextEvent = nextEvent
 	if c.aud != nil {
-		if err := c.aud.LoadState(r, reqByID, c.pending); err != nil {
+		if err := c.aud.LoadState(r, reqByID, audPending); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,100 @@
+package par
+
+import (
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMain raises GOMAXPROCS so the pool is real even on single-CPU
+// machines (New caps at GOMAXPROCS and degrades to nil below 2): the
+// runtime multiplexes the workers on however many cores exist, which
+// is exactly what the correctness and race coverage here needs.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
+
+// TestPoolRunsEveryTaskOnce drives many generations of varying widths
+// and checks every index is executed exactly once per Run, including
+// widths above and below the worker count.
+func TestPoolRunsEveryTaskOnce(t *testing.T) {
+	p := New(4)
+	if p == nil {
+		t.Skip("GOMAXPROCS too small for a pool")
+	}
+	defer p.Close()
+	var hits [64]atomic.Int32
+	for gen := 0; gen < 500; gen++ {
+		n := gen%len(hits) + 1
+		p.Run(n, func(i int) { hits[i].Add(1) })
+		for i := 0; i < n; i++ {
+			if got := hits[i].Swap(0); got != 1 {
+				t.Fatalf("gen %d: index %d ran %d times, want 1", gen, i, got)
+			}
+		}
+		for i := n; i < len(hits); i++ {
+			if got := hits[i].Load(); got != 0 {
+				t.Fatalf("gen %d: index %d beyond n=%d ran %d times", gen, i, n, got)
+			}
+		}
+	}
+}
+
+// TestPoolBarrier checks Run is a full barrier: effects of every task
+// are visible to the owner when Run returns, across rapid-fire
+// generations from plain (non-atomic) writes.
+func TestPoolBarrier(t *testing.T) {
+	p := New(runtime.GOMAXPROCS(0))
+	if p == nil {
+		t.Skip("GOMAXPROCS too small for a pool")
+	}
+	defer p.Close()
+	vals := make([]int64, 128)
+	for gen := 1; gen <= 2000; gen++ {
+		g := int64(gen)
+		p.Run(len(vals), func(i int) { vals[i] = g })
+		for i, v := range vals {
+			if v != g {
+				t.Fatalf("gen %d: vals[%d] = %d not visible after Run", gen, i, v)
+			}
+		}
+	}
+}
+
+// TestPoolParkAndWake forces the workers to park (idle beyond the spin
+// budget) and checks the next Run still completes.
+func TestPoolParkAndWake(t *testing.T) {
+	p := New(4)
+	if p == nil {
+		t.Skip("GOMAXPROCS too small for a pool")
+	}
+	defer p.Close()
+	var count atomic.Int32
+	p.Run(8, func(int) { count.Add(1) })
+	if got := count.Swap(0); got != 8 {
+		t.Fatalf("first Run executed %d tasks, want 8", got)
+	}
+	// Workers spin a bounded number of Gosched rounds, then park.
+	time.Sleep(100 * time.Millisecond)
+	p.Run(8, func(int) { count.Add(1) })
+	if got := count.Load(); got != 8 {
+		t.Fatalf("post-park Run executed %d tasks, want 8", got)
+	}
+}
+
+// TestPoolNil checks the serial-fallback contract of a nil pool.
+func TestPoolNil(t *testing.T) {
+	var p *Pool
+	if got := p.Size(); got != 1 {
+		t.Fatalf("nil pool Size() = %d, want 1", got)
+	}
+	p.Close() // must not panic
+	if q := New(1); q != nil {
+		t.Fatalf("New(1) = %v, want nil", q)
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStepZeroSteadyStateAllocs asserts the arena/ring refactor's
+// contract: once warmed past its peak occupancy, Step allocates
+// nothing — request slots recycle through the controller's free list,
+// transit queues reuse their backing arrays, and the parallel
+// dispatch path reuses one persistent closure. Both serial and
+// parallel modes are held to the same bar.
+func TestStepZeroSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0},
+		{"parallel", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				Workload: []trace.Profile{art, vpr, art, vpr},
+				Policy:   FQVFTF,
+				Seed:     37,
+				Workers:  tc.workers,
+			}
+			cfg.Mem.Channels = 2
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if tc.workers > 1 && s.pool == nil {
+				t.Fatal("parallel path not engaged: pool degraded to serial")
+			}
+			// Warm far past peak queue/arena occupancy so every buffer
+			// has reached its high-water capacity.
+			s.Step(200_000)
+			avg := testing.AllocsPerRun(10, func() {
+				s.Step(5_000)
+			})
+			if avg != 0 {
+				t.Errorf("%s Step allocates %.1f objects per 5k cycles in steady state, want 0", tc.name, avg)
+			}
+		})
+	}
+}

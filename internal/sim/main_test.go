@@ -1,0 +1,19 @@
+package sim
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS so the intra-run worker pool is real even
+// on single-CPU machines (par.New caps at GOMAXPROCS and degrades to a
+// nil pool below 2). Without this, every Workers > 1 configuration in
+// this package would silently fall back to the serial path and the
+// parallel equivalence suite would compare serial against serial.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}

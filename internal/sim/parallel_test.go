@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/trace"
+)
+
+// TestParallelEquivalence is the parallel tentpole's oracle: intra-run
+// parallel mode (sharded per-channel scheduling plus concurrent core
+// stepping, merged deterministically) must reproduce serial mode bit
+// for bit. Each of the five policies runs a 2-channel art+vpr mix with
+// the invariant auditor and epoch sampling enabled, through dozens of
+// short refresh windows, checkpointing once mid-refresh and once at the
+// end: Results, controller fingerprints, and both checkpoints' raw
+// bytes must match exactly.
+func TestParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow")
+	}
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []struct {
+		name    string
+		factory PolicyFactory
+	}{
+		{"FCFS", FCFS},
+		{"FR-FCFS", FRFCFS},
+		{"FR-VFTF", FRVFTF},
+		{"FQ-VFTF", FQVFTF},
+		{"FR-VSTF", FRVSTF},
+	}
+	for _, p := range policies {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) (Result, controllerFingerprint, []byte, []byte) {
+				cfg := Config{
+					Workload:       []trace.Profile{art, vpr},
+					Policy:         p.factory,
+					Seed:           23,
+					Audit:          true,
+					SampleInterval: 5_000,
+					Workers:        workers,
+				}
+				cfg.Mem.Channels = 2
+				cfg.Mem.DRAM = dram.DefaultConfig()
+				cfg.Mem.DRAM.Timing.TREF = 7_000
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				if workers > 1 && s.pool == nil {
+					t.Fatal("parallel path not engaged: pool degraded to serial")
+				}
+				s.Step(20_000)
+				// Hunt for a cycle with a refresh actually in progress so
+				// the mid-run checkpoint covers paused-vclock state.
+				inRefresh := false
+				for i := 0; i < 30_000; i++ {
+					s.Step(1)
+					if s.Controller().Channel().InRefresh(s.Cycle()) {
+						inRefresh = true
+						break
+					}
+				}
+				if !inRefresh {
+					t.Fatal("no refresh window reached")
+				}
+				var mid bytes.Buffer
+				if err := s.Checkpoint(&mid); err != nil {
+					t.Fatal(err)
+				}
+				s.BeginMeasurement()
+				s.Step(80_000)
+				s.FinishAudit()
+				var end bytes.Buffer
+				if err := s.Checkpoint(&end); err != nil {
+					t.Fatal(err)
+				}
+				ctrl := s.Controller()
+				fp := controllerFingerprint{VClock: ctrl.VClock()}
+				for k := dram.KindActivate; k <= dram.KindRefresh; k++ {
+					fp.Commands[k] = ctrl.CommandCount(k)
+				}
+				return s.Results(), fp, mid.Bytes(), end.Bytes()
+			}
+			serRes, serFP, serMid, serEnd := run(0)
+			parRes, parFP, parMid, parEnd := run(4)
+			if !reflect.DeepEqual(serRes, parRes) {
+				t.Errorf("Result diverges:\n serial:   %+v\n parallel: %+v", serRes, parRes)
+			}
+			if serFP != parFP {
+				t.Errorf("controller state diverges:\n serial:   %+v\n parallel: %+v", serFP, parFP)
+			}
+			if !bytes.Equal(serMid, parMid) {
+				t.Errorf("mid-refresh checkpoint bytes diverge (%d vs %d bytes)", len(serMid), len(parMid))
+			}
+			if !bytes.Equal(serEnd, parEnd) {
+				t.Errorf("final checkpoint bytes diverge (%d vs %d bytes)", len(serEnd), len(parEnd))
+			}
+			if serFP.Commands[dram.KindRefresh] < 10 {
+				t.Errorf("run crossed only %d refresh windows, want many", serFP.Commands[dram.KindRefresh])
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceChannels sweeps channel counts (including the
+// single-channel degenerate case, where the parallel path's merge has
+// nothing to reorder) and a mid-run share reassignment under the full
+// FQ scheduler, checking Results and virtual clocks against serial.
+func TestParallelEquivalenceChannels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow")
+	}
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, channels := range []int{1, 2, 4} {
+		run := func(workers int) (Result, int64) {
+			cfg := Config{
+				Workload: []trace.Profile{art, vpr},
+				Policy:   FQVFTF,
+				Seed:     29,
+				Workers:  workers,
+			}
+			cfg.Mem.Channels = channels
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if workers > 1 && s.pool == nil {
+				t.Fatal("parallel path not engaged: pool degraded to serial")
+			}
+			s.Step(30_000)
+			s.SetShare(0, core.Share{Num: 3, Den: 4})
+			s.SetShare(1, core.Share{Num: 1, Den: 4})
+			s.BeginMeasurement()
+			s.Step(100_000)
+			return s.Results(), s.Controller().VClock()
+		}
+		serRes, serV := run(0)
+		parRes, parV := run(4)
+		if !reflect.DeepEqual(serRes, parRes) {
+			t.Errorf("channels=%d: Result diverges:\n serial:   %+v\n parallel: %+v", channels, serRes, parRes)
+		}
+		if serV != parV {
+			t.Errorf("channels=%d: vclock diverges: serial %d parallel %d", channels, serV, parV)
+		}
+	}
+}
+
+// TestParallelRestoreFromSerialCheckpoint proves serial and parallel
+// systems are checkpoint-interchangeable: a checkpoint taken by a
+// serial run restores into a parallel system (and vice versa), and both
+// resumed runs finish bit-identically.
+func TestParallelRestoreFromSerialCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow")
+	}
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workload: []trace.Profile{art, vpr},
+		Policy:   FQVFTF,
+		Seed:     31,
+	}
+	cfg.Mem.Channels = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Step(60_000)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	finish := func(sys *System) (Result, int64) {
+		defer sys.Close()
+		sys.BeginMeasurement()
+		sys.Step(60_000)
+		return sys.Results(), sys.Controller().VClock()
+	}
+	serCfg := cfg
+	parCfg := cfg
+	parCfg.Workers = 4
+	serSys, err := Restore(serCfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSys, err := Restore(parCfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parSys.pool == nil {
+		t.Fatal("parallel path not engaged: pool degraded to serial")
+	}
+	serRes, serV := finish(serSys)
+	parRes, parV := finish(parSys)
+	if !reflect.DeepEqual(serRes, parRes) {
+		t.Errorf("Result diverges:\n serial:   %+v\n parallel: %+v", serRes, parRes)
+	}
+	if serV != parV {
+		t.Errorf("vclock diverges: serial %d parallel %d", serV, parV)
+	}
+}

@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -132,6 +134,19 @@ type Config struct {
 	// SampleCapacity bounds the retained epochs per series (0 selects
 	// metrics.DefaultSampleCapacity).
 	SampleCapacity int
+
+	// Workers > 1 enables intra-run parallelism: each cycle, per-channel
+	// bank scheduling and per-core work fan out across a fork/join pool
+	// of that total size (capped at GOMAXPROCS and at the useful width
+	// channels+cores), and a single-threaded merge then applies the
+	// cross-channel decisions in canonical channel order. Results,
+	// telemetry series, and checkpoint bytes are bit-identical to serial
+	// mode (the equivalence suite asserts it). 0 and 1 mean serial.
+	// Strict mode always runs serially. Systems with Workers > 1 own
+	// pool goroutines: call Close when done. The FQMS_WORKERS
+	// environment variable, when set to an integer, overrides this
+	// field globally.
+	Workers int
 }
 
 // withDefaults fills zero-valued fields with Table 5 defaults.
@@ -204,6 +219,11 @@ func (c Config) withDefaults() (Config, error) {
 	if os.Getenv("FQMS_STRICT") != "" {
 		c.Strict = true
 	}
+	if v := os.Getenv("FQMS_WORKERS"); v != "" {
+		if w, err := strconv.Atoi(v); err == nil {
+			c.Workers = w
+		}
+	}
 	if os.Getenv("FQMS_AUDIT") != "" {
 		c.Audit = true
 	}
@@ -224,6 +244,37 @@ type timedAddr struct {
 	at   int64
 }
 
+// timedQueue is a FIFO of in-transit addresses, consumed by head index
+// instead of reslicing so the backing array is reused once the queue
+// drains: the steady state pushes and pops without allocating.
+type timedQueue struct {
+	buf  []timedAddr
+	head int
+}
+
+func (q *timedQueue) push(e timedAddr) { q.buf = append(q.buf, e) }
+
+func (q *timedQueue) peek() (timedAddr, bool) {
+	if q.head >= len(q.buf) {
+		return timedAddr{}, false
+	}
+	return q.buf[q.head], true
+}
+
+func (q *timedQueue) pop() {
+	q.head++
+	if q.head == len(q.buf) {
+		// Fully drained: restart from index 0 in the same backing array.
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.buf) {
+		// Mostly consumed but never empty: compact so the buffer cannot
+		// crawl rightward unboundedly.
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+}
+
 // System is one simulated CMP.
 type System struct {
 	cfg   Config
@@ -231,9 +282,9 @@ type System struct {
 	ctrl  *memctrl.Controller
 	cycle int64
 
-	fetchQ [][]timedAddr // per core, toward the controller (reads)
-	wbQ    [][]timedAddr // per core, toward the controller (writes)
-	respQ  [][]timedAddr // per core, fills returning
+	fetchQ []timedQueue // per core, toward the controller (reads)
+	wbQ    []timedQueue // per core, toward the controller (writes)
+	respQ  []timedQueue // per core, fills returning
 
 	// latHist holds the per-thread end-to-end read-latency histograms
 	// (nil when Config.Metrics is unset).
@@ -246,6 +297,17 @@ type System struct {
 	sampler   *metrics.Sampler
 	fair      *memctrl.FairnessMonitor
 	epochNext int64
+
+	// Intra-run parallelism (nil pool = serial). parTask is a persistent
+	// closure over the par* fields so the hot loop dispatches work with
+	// zero allocations: task indices [0, parNch) schedule one channel
+	// each (skipped when parSched is false), the rest advance one core
+	// each. See Step for the phase layout and why it is race-free.
+	pool     *par.Pool
+	parTask  func(int)
+	parNow   int64
+	parNch   int
+	parSched bool
 
 	snap baseline
 }
@@ -270,9 +332,9 @@ func New(cfg Config) (*System, error) {
 		cfg:    cfg,
 		ctrl:   ctrl,
 		cores:  make([]*cpu.Core, n),
-		fetchQ: make([][]timedAddr, n),
-		wbQ:    make([][]timedAddr, n),
-		respQ:  make([][]timedAddr, n),
+		fetchQ: make([]timedQueue, n),
+		wbQ:    make([]timedQueue, n),
+		respQ:  make([]timedQueue, n),
 	}
 	for i := 0; i < n; i++ {
 		hier, err := cache.NewHierarchy(cfg.Cache)
@@ -297,7 +359,7 @@ func New(cfg Config) (*System, error) {
 	}
 	ctrl.OnReadDone = func(req *core.Request, now int64) {
 		t := req.Thread
-		s.respQ[t] = append(s.respQ[t], timedAddr{addr: req.Addr, at: now + int64(s.cfg.RespTransit)})
+		s.respQ[t].push(timedAddr{addr: req.Addr, at: now + int64(s.cfg.RespTransit)})
 	}
 	if cfg.Metrics != nil {
 		s.initMetrics(cfg.Metrics)
@@ -318,8 +380,31 @@ func New(cfg Config) (*System, error) {
 		s.epochNext = cfg.SampleInterval
 	}
 	ctrl.SetEventDriven(!cfg.Strict)
+	if !cfg.Strict && cfg.Workers > 1 {
+		s.parNch = ctrl.Channels()
+		width := s.parNch + n
+		w := cfg.Workers
+		if w > width {
+			w = width
+		}
+		s.pool = par.New(w)
+		s.parTask = func(i int) {
+			if s.parSched {
+				if i < s.parNch {
+					s.ctrl.ScheduleChannel(i, s.parNow)
+					return
+				}
+				i -= s.parNch
+			}
+			s.coreStep(i, s.parNow)
+		}
+	}
 	return s, nil
 }
+
+// Close releases the intra-run worker pool's goroutines; a no-op for
+// serial systems. The System must not be stepped afterwards.
+func (s *System) Close() { s.pool.Close() }
 
 // Sampler returns the epoch sampler (nil unless Config.SampleInterval
 // is set).
@@ -417,50 +502,48 @@ func (s *System) Step(n int64) {
 	end := s.cycle + n
 	for s.cycle < end {
 		now := s.cycle
-		s.ctrl.Tick(now)
-		for i, c := range s.cores {
-			// Deliver due fills.
-			q := s.respQ[i]
-			for len(q) > 0 && q[0].at <= now {
-				if tok, ok := c.Hierarchy().TokenFor(q[0].addr); ok {
-					c.Hierarchy().Fill(tok)
-					c.OnFill(tok, now)
-				}
-				q = q[1:]
+		if s.pool != nil {
+			// Parallel cycle. Phase 1 (serial): read completions and the
+			// virtual clock (TickBegin), which append response fills —
+			// never due this cycle, RespTransit >= 1. Phase 2 (one
+			// fork/join): every channel's bank scheduling and every
+			// core's cycle, concurrently — channels write only
+			// channel-partitioned controller state, cores only their own
+			// state, and neither reads what the other writes. Phase 3
+			// (serial): TickEnd applies the channel decisions in
+			// canonical channel order, then the acceptance attempts run
+			// in core order. The serial path below interleaves these
+			// phases per core/channel; the phases commute (cores never
+			// read controller state, accepts are the cores' only
+			// controller writes and stay in core order), so both paths
+			// are bit-identical.
+			s.parNow = now
+			s.parSched = s.ctrl.TickBegin(now)
+			ntasks := len(s.cores)
+			if s.parSched {
+				ntasks += s.parNch
 			}
-			s.respQ[i] = q
-
-			c.Tick(now)
-
-			// Move new misses and writebacks into the transit queues.
-			h := c.Hierarchy()
-			for {
-				addr, _, ok := h.NextFetch()
-				if !ok {
-					break
-				}
-				h.FetchAccepted()
-				s.fetchQ[i] = append(s.fetchQ[i], timedAddr{addr: addr, at: now + int64(s.cfg.ReqTransit)})
+			s.pool.Run(ntasks, s.parTask)
+			if s.parSched {
+				s.ctrl.TickEnd(now)
 			}
-			for {
-				addr, ok := h.NextWriteback()
-				if !ok {
-					break
-				}
-				h.WritebackAccepted()
-				s.wbQ[i] = append(s.wbQ[i], timedAddr{addr: addr, at: now + int64(s.cfg.ReqTransit)})
+		} else {
+			s.ctrl.Tick(now)
+			for i := range s.cores {
+				s.coreStep(i, now)
 			}
-
+		}
+		for i := range s.cores {
 			// Offer due requests to the controller (one read and one
 			// write acceptance attempt per core per cycle; NACKs retry).
-			if q := s.fetchQ[i]; len(q) > 0 && q[0].at <= now {
-				if s.ctrl.Accept(i, q[0].addr, false, now) {
-					s.fetchQ[i] = q[1:]
+			if e, ok := s.fetchQ[i].peek(); ok && e.at <= now {
+				if s.ctrl.Accept(i, e.addr, false, now) {
+					s.fetchQ[i].pop()
 				}
 			}
-			if q := s.wbQ[i]; len(q) > 0 && q[0].at <= now {
-				if s.ctrl.Accept(i, q[0].addr, true, now) {
-					s.wbQ[i] = q[1:]
+			if e, ok := s.wbQ[i].peek(); ok && e.at <= now {
+				if s.ctrl.Accept(i, e.addr, true, now) {
+					s.wbQ[i].pop()
 				}
 			}
 		}
@@ -490,6 +573,49 @@ func (s *System) Step(n int64) {
 	}
 }
 
+// coreStep advances core i through cycle now: deliver due fills, tick
+// the pipeline, and drain new misses and writebacks into the transit
+// queues. It touches only core i's state (core, hierarchy, and the
+// core's three queues), so distinct cores may step concurrently; the
+// acceptance attempts, which do mutate the controller, stay in Step's
+// serial tail.
+func (s *System) coreStep(i int, now int64) {
+	c := s.cores[i]
+	// Deliver due fills.
+	for {
+		e, ok := s.respQ[i].peek()
+		if !ok || e.at > now {
+			break
+		}
+		if tok, ok := c.Hierarchy().TokenFor(e.addr); ok {
+			c.Hierarchy().Fill(tok)
+			c.OnFill(tok, now)
+		}
+		s.respQ[i].pop()
+	}
+
+	c.Tick(now)
+
+	// Move new misses and writebacks into the transit queues.
+	h := c.Hierarchy()
+	for {
+		addr, _, ok := h.NextFetch()
+		if !ok {
+			break
+		}
+		h.FetchAccepted()
+		s.fetchQ[i].push(timedAddr{addr: addr, at: now + int64(s.cfg.ReqTransit)})
+	}
+	for {
+		addr, ok := h.NextWriteback()
+		if !ok {
+			break
+		}
+		h.WritebackAccepted()
+		s.wbQ[i].push(timedAddr{addr: addr, at: now + int64(s.cfg.ReqTransit)})
+	}
+}
+
 // nextWake returns the earliest cycle in (now, end] at which any core or
 // the controller can make progress, given that cycle now has been fully
 // simulated. It is conservative: returning now+1 is always safe (no
@@ -499,31 +625,31 @@ func (s *System) nextWake(now, end int64) int64 {
 	for i, c := range s.cores {
 		// Pending fills: delivery times are monotone, so the head bounds
 		// the queue.
-		if q := s.respQ[i]; len(q) > 0 {
-			if q[0].at <= now+1 {
+		if e, ok := s.respQ[i].peek(); ok {
+			if e.at <= now+1 {
 				return now + 1
 			}
-			if q[0].at < wake {
-				wake = q[0].at
+			if e.at < wake {
+				wake = e.at
 			}
 		}
 		// Pending requests toward the controller. A due head that the
 		// controller would NACK is ignored here: buffer occupancy only
 		// changes at controller event cycles, which NextEventAt covers.
-		if q := s.fetchQ[i]; len(q) > 0 && s.ctrl.CanAccept(i, false) {
-			if q[0].at <= now+1 {
+		if e, ok := s.fetchQ[i].peek(); ok && s.ctrl.CanAccept(i, false) {
+			if e.at <= now+1 {
 				return now + 1
 			}
-			if q[0].at < wake {
-				wake = q[0].at
+			if e.at < wake {
+				wake = e.at
 			}
 		}
-		if q := s.wbQ[i]; len(q) > 0 && s.ctrl.CanAccept(i, true) {
-			if q[0].at <= now+1 {
+		if e, ok := s.wbQ[i].peek(); ok && s.ctrl.CanAccept(i, true) {
+			if e.at <= now+1 {
 				return now + 1
 			}
-			if q[0].at < wake {
-				wake = q[0].at
+			if e.at < wake {
+				wake = e.at
 			}
 		}
 		// The core itself: retirement, load issue, store drain, dispatch.

@@ -96,25 +96,29 @@ func (s *System) checkFingerprint(r *snapshot.Reader) error {
 	return r.Err()
 }
 
-func saveTimedQueue(w *snapshot.Writer, q []timedAddr) {
-	w.Len(len(q))
-	for _, e := range q {
+// saveTimedQueue writes the live (unconsumed) region only, so the
+// serialized form is independent of the queue's internal head position
+// and identical to what an uninterrupted run would hold.
+func saveTimedQueue(w *snapshot.Writer, q *timedQueue) {
+	live := q.buf[q.head:]
+	w.Len(len(live))
+	for _, e := range live {
 		w.U64(e.addr)
 		w.I64(e.at)
 	}
 }
 
-func loadTimedQueue(r *snapshot.Reader) []timedAddr {
+func loadTimedQueue(r *snapshot.Reader) timedQueue {
 	n := r.Len(maxTransitQueue)
 	if n == 0 {
-		return nil
+		return timedQueue{}
 	}
 	q := make([]timedAddr, n)
 	for i := range q {
 		q[i].addr = r.U64()
 		q[i].at = r.I64()
 	}
-	return q
+	return timedQueue{buf: q}
 }
 
 // MeasurementStarted reports whether BeginMeasurement has been called —
@@ -144,9 +148,9 @@ func (s *System) Checkpoint(w io.Writer) error {
 	sw.I64(s.cycle)
 	sw.I64(s.epochNext)
 	for i := range s.cores {
-		saveTimedQueue(sw, s.fetchQ[i])
-		saveTimedQueue(sw, s.wbQ[i])
-		saveTimedQueue(sw, s.respQ[i])
+		saveTimedQueue(sw, &s.fetchQ[i])
+		saveTimedQueue(sw, &s.wbQ[i])
+		saveTimedQueue(sw, &s.respQ[i])
 	}
 	sw.Bool(s.snap.retired != nil)
 	if s.snap.retired != nil {
@@ -207,9 +211,9 @@ func Restore(cfg Config, rd io.Reader) (s *System, err error) {
 	r.Section("sim.System")
 	cycle := r.I64()
 	epochNext := r.I64()
-	fetchQ := make([][]timedAddr, len(s.cores))
-	wbQ := make([][]timedAddr, len(s.cores))
-	respQ := make([][]timedAddr, len(s.cores))
+	fetchQ := make([]timedQueue, len(s.cores))
+	wbQ := make([]timedQueue, len(s.cores))
+	respQ := make([]timedQueue, len(s.cores))
 	for i := range s.cores {
 		fetchQ[i] = loadTimedQueue(r)
 		wbQ[i] = loadTimedQueue(r)
