@@ -19,8 +19,12 @@
 // -check compares this run's throughput against a previously recorded
 // report and exits nonzero if any configuration regressed by more than
 // -tol (relative); CI runs this against the committed
-// BENCH_baseline.json. -bless writes the fresh report to the named
-// file, atomically, for intentional re-baselining.
+// BENCH_baseline.json. Every run records the GOMAXPROCS/CPU count it
+// was measured under, and -check refuses outright to compare runs
+// recorded at different parallelism (with instructions to re-bless)
+// instead of reporting meaningless regressions. -bless writes the
+// fresh report to the named file, atomically, for intentional
+// re-baselining.
 //
 // With -strict each configuration is additionally run with the
 // event-driven fast path disabled (the per-cycle oracle), and the
@@ -50,13 +54,19 @@ import (
 	"repro/internal/trace"
 )
 
-// run is one measured simulation.
+// run is one measured simulation. GOMAXPROCS and NumCPU are recorded
+// per run (not just in the report header) because throughput is only
+// comparable between runs measured at the same parallelism: -check
+// refuses to gate a run against a baseline recorded on a machine with
+// a different CPU budget instead of reporting bogus regressions.
 type run struct {
 	Name            string   `json:"name"`
 	Workload        []string `json:"workload"`
 	Policy          string   `json:"policy"`
 	Channels        int      `json:"channels"`
 	Workers         int      `json:"workers"`
+	GOMAXPROCS      int      `json:"gomaxprocs"`
+	NumCPU          int      `json:"num_cpu"`
 	Strict          bool     `json:"strict"`
 	Metrics         bool     `json:"metrics,omitempty"`
 	Sampled         bool     `json:"sampled,omitempty"`
@@ -198,6 +208,8 @@ func measure(benches []string, warmup, cycles int64, seed uint64, o measureOpts)
 		Policy:          "FQ-VFTF",
 		Channels:        o.channels,
 		Workers:         o.workers,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
 		Strict:          o.strict,
 		Metrics:         o.instrumented,
 		Sampled:         o.sampled,
@@ -235,6 +247,15 @@ func check(fresh report, baselinePath string, tol float64, out io.Writer) (regre
 			continue
 		}
 		delete(baseByName, r.Name)
+		// Refuse cross-parallelism comparisons outright: a baseline
+		// measured with a different CPU budget says nothing about this
+		// run, and a "regression" verdict either way would be noise.
+		if br.GOMAXPROCS != r.GOMAXPROCS || br.NumCPU != r.NumCPU {
+			return nil, fmt.Errorf(
+				"%s: parallelism mismatch: baseline measured at GOMAXPROCS=%d NumCPU=%d, this run at GOMAXPROCS=%d NumCPU=%d; "+
+					"throughput is not comparable across parallelism — re-record the baseline on this machine with -bless %s",
+				r.Name, br.GOMAXPROCS, br.NumCPU, r.GOMAXPROCS, r.NumCPU, baselinePath)
+		}
 		rel := r.MSimCyclesPerS/br.MSimCyclesPerS - 1
 		verdict := "ok"
 		if rel < -tol {

@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	experiments [-fig 1|4|5|6|7|8|9|all] [-warmup N] [-window N] [-seed N]
+//	experiments [-fig 1|4|5|6|7|8|9|sweep|arena|headline|all] [-warmup N] [-window N] [-seed N]
 //	            [-workers N] [-intra-workers N]
 //	            [-serve addr] [-series-dir dir] [-sample-interval N]
 //	            [-checkpoint-dir dir] [-checkpoint-every N] [-resume]
+//	            [-arena] [-arena-out dir]
+//
+// -arena (or -fig arena) races the post-2006 scheduler lineage —
+// FR-FCFS, FR-VFTF, FQ-VFTF, BLISS, SLOW-FAIR, BANK-BW — across
+// workload mixes, share splits, and channel counts and prints the
+// fairness-vs-throughput table with each cell's Pareto frontier
+// starred; -arena-out additionally writes arena.csv and arena.json.
 //
 // -workers caps the sweep's total worker goroutines; -intra-workers
 // parallelizes each simulation internally (bit-identical results), and
@@ -29,9 +36,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/exp"
@@ -41,7 +50,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, 9, sweep, headline, or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, 9, sweep, arena, headline, or all")
 		warmup    = flag.Int64("warmup", 50_000, "warmup cycles per run")
 		window    = flag.Int64("window", 400_000, "measurement cycles per run")
 		seed      = flag.Uint64("seed", 0, "trace generator seed")
@@ -54,8 +63,13 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint every run's state into this directory")
 		ckptEvery = flag.Int64("checkpoint-every", 0, "cycles between checkpoints (0 = default when -checkpoint-dir is set)")
 		resume    = flag.Bool("resume", false, "resume each run from its checkpoint (or recall its persisted result) in -checkpoint-dir")
+		arena     = flag.Bool("arena", false, "run the policy arena (shorthand for -fig arena)")
+		arenaOut  = flag.String("arena-out", "", "directory receiving the arena's arena.csv and arena.json artifacts")
 	)
 	flag.Parse()
+	if *arena {
+		*fig = "arena"
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -184,6 +198,36 @@ func main() {
 			}
 			res.Render(w)
 			return nil
+		})
+	case "arena":
+		timed("policy arena", func() error {
+			res, err := r.Arena(exp.DefaultArenaSpec())
+			if err != nil {
+				return err
+			}
+			res.Render(w)
+			if *arenaOut == "" {
+				return nil
+			}
+			if err := os.MkdirAll(*arenaOut, 0o755); err != nil {
+				return err
+			}
+			cf, err := os.Create(filepath.Join(*arenaOut, "arena.csv"))
+			if err != nil {
+				return err
+			}
+			if err := res.WriteCSV(cf); err != nil {
+				cf.Close()
+				return err
+			}
+			if err := cf.Close(); err != nil {
+				return err
+			}
+			buf, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(filepath.Join(*arenaOut, "arena.json"), append(buf, '\n'), 0o644)
 		})
 	case "sweep":
 		timed("share sweep", func() error {

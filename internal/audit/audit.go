@@ -183,6 +183,32 @@ type histEntry struct {
 // (FR-VFTF, FQ-VFTF, FR-VSTF, FR-VFTF-arrival).
 type vtmsProvider interface{ ThreadVTMS(int) *core.VTMS }
 
+// tickerProvider is satisfied by the interval-based arena policies
+// (BLISS, SLOW-FAIR, BANK-BW): window bookkeeping the auditor holds to
+// the PolicyTicker contract — next boundary = last + interval, and the
+// controller never lets a boundary slip past unfired.
+type tickerProvider interface {
+	LastTickAt() int64
+	NextTickAt() int64
+	TickInterval() int64
+}
+
+// blissProvider exposes BLISS's Key-feeding blacklist, which may change
+// only at a tick boundary.
+type blissProvider interface{ Blacklisted(thread int) bool }
+
+// slowdownProvider exposes SLOW-FAIR's Key-feeding boost target, which
+// may change only at a tick boundary.
+type slowdownProvider interface{ BoostedThread() int }
+
+// budgetProvider exposes BANK-BW's per-(thread, bank) budgets. The
+// auditor counts CAS commands per window itself and demands
+// budget == quota - count exactly, after every request command.
+type budgetProvider interface {
+	BankBudget(thread, bank int) int64
+	BudgetQuota() int64
+}
+
 // Auditor validates the invariants; see the package comment. It is not
 // safe for concurrent use (each controller owns one).
 type Auditor struct {
@@ -205,6 +231,18 @@ type Auditor struct {
 
 	vtms               vtmsProvider
 	preBankR, preChanR core.VTime
+
+	// Interval-policy tracking: shadows of the Key-feeding state the
+	// tickerProvider policies may move only at tick boundaries, and the
+	// auditor's own CAS-per-window ledger for exact budget accounting.
+	tick        tickerProvider
+	bliss       blissProvider
+	slow        slowdownProvider
+	budget      budgetProvider
+	blShadow    []bool
+	boostShadow int
+	casCount    []int64 // thread*nbanks + flat bank
+	winStart    int64   // LastTickAt value casCount counts from
 
 	hist     []histEntry
 	histLen  int
@@ -248,6 +286,19 @@ func New(cfg Config, tgt Target) *Auditor {
 		}
 	}
 	a.vtms, _ = tgt.Policy.(vtmsProvider)
+	a.tick, _ = tgt.Policy.(tickerProvider)
+	a.bliss, _ = tgt.Policy.(blissProvider)
+	a.slow, _ = tgt.Policy.(slowdownProvider)
+	a.budget, _ = tgt.Policy.(budgetProvider)
+	if a.bliss != nil {
+		a.blShadow = make([]bool, tgt.Threads)
+	}
+	if a.slow != nil {
+		a.boostShadow = a.slow.BoostedThread()
+	}
+	if a.budget != nil {
+		a.casCount = make([]int64, tgt.Threads*nbanks)
+	}
 	return a
 }
 
@@ -432,6 +483,7 @@ func (a *Auditor) checkAge(now int64) {
 // fully simulated cycle.
 func (a *Auditor) OnTick(now int64) {
 	a.checkAge(now)
+	a.checkIntervalPolicy(now)
 	if a.tgt.RefreshDisabled || a.cfg.RefreshSlack < 0 {
 		return
 	}
@@ -444,6 +496,59 @@ func (a *Auditor) OnTick(now int64) {
 		if now-last > tref+a.cfg.RefreshSlack {
 			a.fail(now, "channel %d refresh overdue: %d cycles since last refresh (tREF %d + slack %d)",
 				i, now-last, tref, a.cfg.RefreshSlack)
+		}
+	}
+}
+
+// checkIntervalPolicy holds a tickerProvider policy to its contract:
+// the window bookkeeping stays consistent (next = last + interval with
+// the boundary never slipping past unfired), and the Key-feeding
+// interval state — blacklist bits, the boost target — changes only on
+// a cycle whose tick just fired. Runs on every tick and after every
+// command.
+func (a *Auditor) checkIntervalPolicy(now int64) {
+	if a.tick == nil {
+		return
+	}
+	last, next, iv := a.tick.LastTickAt(), a.tick.NextTickAt(), a.tick.TickInterval()
+	if iv <= 0 {
+		a.fail(now, "interval policy reports non-positive tick interval %d", iv)
+	}
+	if next != last+iv {
+		a.fail(now, "interval policy window inconsistent: next tick %d != last tick %d + interval %d", next, last, iv)
+	}
+	if last > now {
+		a.fail(now, "interval policy last tick %d is in the future", last)
+	}
+	if next <= now {
+		a.fail(now, "interval policy tick boundary %d missed: cycle %d reached with no Tick fired", next, now)
+	}
+	if a.bliss != nil {
+		for t := range a.blShadow {
+			if b := a.bliss.Blacklisted(t); b != a.blShadow[t] {
+				if last != now {
+					a.fail(now, "thread %d blacklist bit flipped outside a tick boundary (last tick %d)", t, last)
+				}
+				a.blShadow[t] = b
+			}
+		}
+	}
+	if a.slow != nil {
+		if b := a.slow.BoostedThread(); b != a.boostShadow {
+			if last != now {
+				a.fail(now, "boost target moved %d -> %d outside a tick boundary (last tick %d)", a.boostShadow, b, last)
+			}
+			if b < -1 || b >= a.tgt.Threads {
+				a.fail(now, "boost target %d out of range", b)
+			}
+			a.boostShadow = b
+		}
+	}
+	if a.budget != nil && a.winStart != last {
+		// A refill boundary fired: the CAS ledger starts a fresh window.
+		a.winStart = last
+		for i := range a.casCount {
+			a.casCount[i] = 0
 		}
 	}
 }
@@ -725,6 +830,9 @@ func (a *Auditor) AfterIssue(cmd Cmd, now int64) {
 			delete(a.frozen, r.ID)
 		}
 		a.checkVTMSUpdate(cmd, now)
+		if a.budget != nil {
+			a.checkBudget(cmd, now)
+		}
 		if cmd.Kind == dram.KindWrite {
 			// Writes complete when the CAS issues (posted writes).
 			e := a.out[r.ID]
@@ -736,6 +844,8 @@ func (a *Auditor) AfterIssue(cmd Cmd, now int64) {
 			a.checkConservation(r.Thread, now)
 		}
 	}
+
+	a.checkIntervalPolicy(now)
 
 	// Cross-check the shadow bank against the live device model.
 	cIdx, lb := a.chanOf(cmd.FlatBank)
@@ -753,6 +863,33 @@ func (a *Auditor) AfterIssue(cmd Cmd, now int64) {
 	}
 	if free := ch.DataBusFreeAt(); free != a.chans[cIdx].busFreeAt {
 		a.fail(now, "shadow data bus free-at %d diverged from device %d", a.chans[cIdx].busFreeAt, free)
+	}
+}
+
+// checkBudget holds a budgetProvider policy to exact accounting: after
+// every request command, the (thread, bank) budget must equal the
+// window quota minus the CAS commands the auditor itself counted since
+// the last refill boundary — negative when the work-conserving
+// scheduler let the thread overdraw, never anything else.
+func (a *Auditor) checkBudget(cmd Cmd, now int64) {
+	r := cmd.Req
+	// Roll the CAS ledger first: a command issuing on the boundary cycle
+	// itself spends from the freshly refilled window.
+	if last := a.tick.LastTickAt(); a.winStart != last {
+		a.winStart = last
+		for i := range a.casCount {
+			a.casCount[i] = 0
+		}
+	}
+	slot := r.Thread*len(a.banks) + cmd.FlatBank
+	if cmd.Kind == dram.KindRead || cmd.Kind == dram.KindWrite {
+		a.casCount[slot]++
+	}
+	got := a.budget.BankBudget(r.Thread, cmd.FlatBank)
+	want := a.budget.BudgetQuota() - a.casCount[slot]
+	if got != want {
+		a.fail(now, "thread %d bank %d budget accounting diverged after %v: policy reports %d, quota %d - %d CAS this window = %d",
+			r.Thread, cmd.FlatBank, cmd.Kind, got, a.budget.BudgetQuota(), a.casCount[slot], want)
 	}
 }
 

@@ -234,6 +234,98 @@ func TestAuditCatchesWrongServiceStep(t *testing.T) {
 	})
 }
 
+// fakeInterval is a scriptable interval policy: it exposes the full
+// tickerProvider/blissProvider/slowdownProvider/budgetProvider surface
+// with directly settable state, so tests can plant contract faults the
+// real policies cannot produce.
+type fakeInterval struct {
+	last, next, iv int64
+	black          [2]bool
+	boost          int
+	budget         int64
+	quota          int64
+}
+
+func (f *fakeInterval) Name() string                                { return "FAKE-INTERVAL" }
+func (f *fakeInterval) Key(r *core.Request, _ core.BankState) int64 { return r.Arrival }
+func (f *fakeInterval) OnIssue(*core.Request, core.CmdKind)         {}
+func (f *fakeInterval) BankRule() (core.BankRule, int64)            { return core.RuleFirstReady, 0 }
+func (f *fakeInterval) LastTickAt() int64                           { return f.last }
+func (f *fakeInterval) NextTickAt() int64                           { return f.next }
+func (f *fakeInterval) TickInterval() int64                         { return f.iv }
+func (f *fakeInterval) Blacklisted(t int) bool                      { return f.black[t] }
+func (f *fakeInterval) BoostedThread() int                          { return f.boost }
+func (f *fakeInterval) BankBudget(_, _ int) int64                   { return f.budget }
+func (f *fakeInterval) BudgetQuota() int64                          { return f.quota }
+
+func newFakeInterval() *fakeInterval {
+	return &fakeInterval{next: 1_000, iv: 1_000, boost: -1, budget: 8, quota: 8}
+}
+
+func TestAuditCatchesOutOfBandTick(t *testing.T) {
+	pol := core.NewBLISS(2)
+	a, _ := newAuditor(t, pol, audit.Config{}, nil)
+	a.OnTick(10) // clean mid-window
+	// An out-of-band Tick (the controller fired mid-window): the window
+	// bookkeeping no longer satisfies next = last + interval.
+	pol.Tick(500)
+	expectViolation(t, "window inconsistent", func() { a.OnTick(600) })
+}
+
+func TestAuditCatchesMissedTickBoundary(t *testing.T) {
+	pol := core.NewBLISS(2) // 1k-cycle window
+	a, _ := newAuditor(t, pol, audit.Config{}, nil)
+	expectViolation(t, "no Tick fired", func() { a.OnTick(1_500) })
+}
+
+func TestAuditCatchesBlacklistFlipOutsideTick(t *testing.T) {
+	f := newFakeInterval()
+	a, _ := newAuditor(t, f, audit.Config{}, nil)
+	a.OnTick(10)
+	// A flip observed on the boundary cycle its tick fired is legal...
+	f.last, f.next = 1_000, 2_000
+	f.black[0] = true
+	a.OnTick(1_000)
+	// ...the same flip mid-window is a violation.
+	f.black[1] = true
+	expectViolation(t, "blacklist bit flipped", func() { a.OnTick(1_200) })
+}
+
+func TestAuditCatchesBoostMoveOutsideTick(t *testing.T) {
+	f := newFakeInterval()
+	a, _ := newAuditor(t, f, audit.Config{}, nil)
+	f.last, f.next = 1_000, 2_000
+	f.boost = 1
+	a.OnTick(1_000) // boundary retarget: legal
+	f.boost = 0
+	expectViolation(t, "boost target moved", func() { a.OnTick(1_500) })
+}
+
+func TestAuditCatchesBudgetAccountingDivergence(t *testing.T) {
+	f := newFakeInterval()
+	a, ch := newAuditor(t, f, audit.Config{}, nil)
+	r := accept(a, 1, 0, 0, 3, 0)
+	issueCmd(a, ch, f, dram.KindActivate, r, 0)
+	// The fake never spends budget, so after the CAS the auditor's own
+	// ledger expects quota - 1 and the reported quota is a divergence.
+	expectViolation(t, "budget accounting diverged", func() {
+		issueCmd(a, ch, f, dram.KindRead, r, 5)
+	})
+}
+
+func TestAuditBankBWCleanAccounting(t *testing.T) {
+	pol := core.NewBankBW(2, 8)
+	a, ch := newAuditor(t, pol, audit.Config{}, nil)
+	r := accept(a, 1, 0, 0, 3, 0)
+	issueCmd(a, ch, pol, dram.KindActivate, r, 0)
+	end := issueCmd(a, ch, pol, dram.KindRead, r, 5)
+	a.OnReadDone(r, end, end)
+	a.Finish(end)
+	if got := pol.BankBudget(0, 0); got != pol.BudgetQuota()-1 {
+		t.Fatalf("budget after one CAS = %d, want %d", got, pol.BudgetQuota()-1)
+	}
+}
+
 func TestAuditCatchesDoubleCompletion(t *testing.T) {
 	pol := core.NewFRFCFS()
 	a, ch := newAuditor(t, pol, audit.Config{}, nil)

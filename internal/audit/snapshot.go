@@ -94,6 +94,20 @@ func (a *Auditor) SaveState(w *snapshot.Writer) {
 	}
 	w.I64(a.cmds)
 	w.I64(a.maxInvWindow)
+	// Interval-policy tracking. Present exactly when the audited policy
+	// provides the corresponding contract surface; the restore side
+	// derives presence from the same policy (the controller refuses
+	// cross-policy restores), so the layouts always agree.
+	if a.bliss != nil {
+		w.Bools(a.blShadow)
+	}
+	if a.slow != nil {
+		w.Int(a.boostShadow)
+	}
+	if a.budget != nil {
+		w.I64(a.winStart)
+		w.I64s(a.casCount)
+	}
 }
 
 // LoadState restores an auditor saved by SaveState. reqByID maps every
@@ -227,6 +241,29 @@ func (a *Auditor) LoadState(r *snapshot.Reader, reqByID map[uint64]*core.Request
 	}
 	cmds := r.I64()
 	maxInvWindow := r.I64()
+	var blShadow []bool
+	boostShadow := a.boostShadow
+	var winStart int64
+	var casCount []int64
+	if a.bliss != nil {
+		blShadow = r.Bools(len(a.blShadow))
+		if r.Err() == nil && len(blShadow) != len(a.blShadow) {
+			r.Fail("audit.Auditor: blacklist shadow of %d threads, auditor has %d", len(blShadow), len(a.blShadow))
+		}
+	}
+	if a.slow != nil {
+		boostShadow = r.Int()
+		if r.Err() == nil && (boostShadow < -1 || boostShadow >= len(a.acc)) {
+			r.Fail("audit.Auditor: boost shadow %d out of range for %d threads", boostShadow, len(a.acc))
+		}
+	}
+	if a.budget != nil {
+		winStart = r.I64()
+		casCount = r.I64s(len(a.casCount))
+		if r.Err() == nil && len(casCount) != len(a.casCount) {
+			r.Fail("audit.Auditor: CAS ledger of %d slots, auditor has %d", len(casCount), len(a.casCount))
+		}
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}
@@ -247,6 +284,10 @@ func (a *Auditor) LoadState(r *snapshot.Reader, reqByID map[uint64]*core.Request
 	}
 	a.cmds = cmds
 	a.maxInvWindow = maxInvWindow
+	copy(a.blShadow, blShadow)
+	a.boostShadow = boostShadow
+	a.winStart = winStart
+	copy(a.casCount, casCount)
 	a.preBankR, a.preChanR = 0, 0
 	// The pending mirror must alias the controller's live pointers:
 	// the auditor's minimum-key and membership checks compare by

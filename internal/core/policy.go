@@ -56,7 +56,10 @@ const (
 // through shared mutable state would need a controller-wide
 // invalidation (memctrl.Controller.InvalidateScheduling) instead.
 // Share reassignment already takes that path: sim.System.SetShare
-// invalidates all banks after SetThreadShare.
+// invalidates all banks after SetThreadShare, and interval-based
+// policies (PolicyTicker) get the same treatment: the controller runs
+// their window-boundary work through Tick and invalidates everything
+// when it reports a Key-feeding change.
 type Policy interface {
 	// Name identifies the policy in reports ("FR-FCFS", "FQ-VFTF", ...).
 	Name() string

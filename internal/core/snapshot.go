@@ -15,6 +15,9 @@ var (
 	_ PolicyState = (*FRVFTF)(nil)
 	_ PolicyState = (*FQVFTF)(nil)
 	_ PolicyState = (*FRVSTF)(nil)
+	_ PolicyState = (*BLISS)(nil)
+	_ PolicyState = (*SlowFair)(nil)
+	_ PolicyState = (*BankBW)(nil)
 )
 
 // SaveState serializes the thread's virtual-time registers and its
@@ -66,6 +69,137 @@ func (v *VTMS) LoadState(r *snapshot.Reader) error {
 	v.invPhi = share.Reciprocal()
 	copy(v.bankR, bankR)
 	copy(v.chanR, chanR)
+	return nil
+}
+
+// saveTicker / loadTicker serialize the shared window bookkeeping of
+// the interval-based arena policies. The interval itself is
+// construction state and only cross-checked.
+func (tk *ticker) saveTicker(w *snapshot.Writer) {
+	w.I64(tk.interval)
+	w.I64(tk.lastTick)
+	w.I64(tk.nextTick)
+}
+
+func (tk *ticker) loadTicker(r *snapshot.Reader, section string) {
+	interval := r.I64()
+	last := r.I64()
+	next := r.I64()
+	if r.Err() != nil {
+		return
+	}
+	if interval != tk.interval {
+		r.Fail("%s: tick interval %d, policy has %d", section, interval, tk.interval)
+		return
+	}
+	if next <= last || next-last > interval {
+		r.Fail("%s: inconsistent tick window [%d, %d] for interval %d", section, last, next, interval)
+		return
+	}
+	tk.lastTick = last
+	tk.nextTick = next
+}
+
+// SaveState serializes the blacklist, the staged marks, and the streak
+// tracker. The thresholds are construction state.
+func (p *BLISS) SaveState(w *snapshot.Writer) {
+	w.Section("core.BLISS")
+	p.saveTicker(w)
+	w.I64(p.ticks)
+	w.Int(p.lastThread)
+	w.I64(p.streak)
+	w.Bools(p.blacklisted)
+	w.Bools(p.pendingMark)
+}
+
+// LoadState restores state saved by SaveState into a BLISS policy
+// constructed for the same thread count.
+func (p *BLISS) LoadState(r *snapshot.Reader) error {
+	r.Section("core.BLISS")
+	p.loadTicker(r, "core.BLISS")
+	ticks := r.I64()
+	lastThread := r.Int()
+	streak := r.I64()
+	black := r.Bools(snapshot.MaxSlice)
+	pending := r.Bools(snapshot.MaxSlice)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(black) != len(p.blacklisted) || len(pending) != len(p.pendingMark) {
+		r.Fail("core.BLISS: %d/%d threads, policy has %d", len(black), len(pending), len(p.blacklisted))
+		return r.Err()
+	}
+	p.ticks = ticks
+	p.lastThread = lastThread
+	p.streak = streak
+	copy(p.blacklisted, black)
+	copy(p.pendingMark, pending)
+	return nil
+}
+
+// SaveState serializes the boost target and the per-thread alone-time
+// accounts.
+func (p *SlowFair) SaveState(w *snapshot.Writer) {
+	w.Section("core.SlowFair")
+	p.saveTicker(w)
+	w.Int(p.boosted)
+	w.I64s(p.aloneServ)
+	w.I64s(p.prevAlone)
+}
+
+// LoadState restores state saved by SaveState into a SLOW-FAIR policy
+// constructed for the same thread count.
+func (p *SlowFair) LoadState(r *snapshot.Reader) error {
+	r.Section("core.SlowFair")
+	p.loadTicker(r, "core.SlowFair")
+	boosted := r.Int()
+	alone := r.I64s(snapshot.MaxSlice)
+	prev := r.I64s(snapshot.MaxSlice)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(alone) != len(p.aloneServ) || len(prev) != len(p.prevAlone) {
+		r.Fail("core.SlowFair: %d/%d threads, policy has %d", len(alone), len(prev), len(p.aloneServ))
+		return r.Err()
+	}
+	if boosted < -1 || boosted >= len(alone) {
+		r.Fail("core.SlowFair: boosted thread %d out of range", boosted)
+		return r.Err()
+	}
+	p.boosted = boosted
+	copy(p.aloneServ, alone)
+	copy(p.prevAlone, prev)
+	return nil
+}
+
+// SaveState serializes the per-(thread, bank) budgets. The quota and
+// geometry are construction state.
+func (p *BankBW) SaveState(w *snapshot.Writer) {
+	w.Section("core.BankBW")
+	p.saveTicker(w)
+	w.I64(p.quota)
+	w.I64s(p.budget)
+}
+
+// LoadState restores state saved by SaveState into a BANK-BW policy
+// constructed for the same thread count and bank geometry.
+func (p *BankBW) LoadState(r *snapshot.Reader) error {
+	r.Section("core.BankBW")
+	p.loadTicker(r, "core.BankBW")
+	quota := r.I64()
+	budget := r.I64s(snapshot.MaxSlice)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if quota != p.quota {
+		r.Fail("core.BankBW: quota %d, policy has %d", quota, p.quota)
+		return r.Err()
+	}
+	if len(budget) != len(p.budget) {
+		r.Fail("core.BankBW: %d budget slots, policy has %d", len(budget), len(p.budget))
+		return r.Err()
+	}
+	copy(p.budget, budget)
 	return nil
 }
 

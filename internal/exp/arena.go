@@ -1,0 +1,314 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Policy arena: the paper's FQ-VFTF is the 2006 point in a scheduler
+// lineage, and the arena races it against its successors — BLISS
+// (interval blacklisting), SLOW-FAIR (slowdown-balancing), BANK-BW
+// (per-bank budgets) — plus the FR-FCFS/FR-VFTF baselines, across
+// workload mixes, share splits, and channel counts. Each cell reduces
+// to the two axes the lineage argues about: system throughput
+// (weighted speedup against the paper's scaled private baseline) and
+// fairness (max-slowdown balance), with the per-cell Pareto frontier
+// marked so the tradeoff reads as a measured frontier rather than a
+// single claim.
+
+// arenaPolicies are the contenders. This is deliberately distinct from
+// the `policies` list in runner.go, which feeds the paper-figure row
+// counts and their golden files and must not grow.
+var arenaPolicies = []string{"FR-FCFS", "FR-VFTF", "FQ-VFTF", "BLISS", "SLOW-FAIR", "BANK-BW"}
+
+// ArenaPolicyNames returns the arena contenders in table order.
+func ArenaPolicyNames() []string { return append([]string(nil), arenaPolicies...) }
+
+// ArenaSpec describes the sweep axes: every policy runs on every
+// (mix, share split, channel count) cell.
+type ArenaSpec struct {
+	// Mixes are the co-run workloads, one benchmark name per core.
+	Mixes [][]string
+
+	// Shares are thread 0's allocations; the remaining threads split
+	// the rest evenly. The zero Share means the paper's static equal
+	// allocation. Shareless policies (BLISS, SLOW-FAIR, BANK-BW)
+	// ignore the split — the arena shows them not moving.
+	Shares []core.Share
+
+	// Channels are the memory-channel counts to sweep.
+	Channels []int
+}
+
+// DefaultArenaSpec sweeps the paper's headline two-core pair and its
+// first four-core workload over equal and 3/4-skewed allocations on
+// one and two channels: 6 policies x 2 mixes x 2 shares x 2 channels.
+func DefaultArenaSpec() ArenaSpec {
+	return ArenaSpec{
+		Mixes:    [][]string{{"vpr", "art"}, trace.FourCoreWorkloads()[0]},
+		Shares:   []core.Share{{}, {Num: 3, Den: 4}},
+		Channels: []int{1, 2},
+	}
+}
+
+// ArenaRow is one (policy, mix, share, channels) cell of the arena.
+type ArenaRow struct {
+	Policy   string `json:"policy"`
+	Workload string `json:"workload"` // "+"-joined benchmark names
+	Share0   string `json:"share0"`   // thread 0's allocation ("eq" = equal)
+	Channels int    `json:"channels"`
+
+	// WeightedSpeedup is the throughput axis: the sum over threads of
+	// IPC_shared / IPC_alone, where alone is the paper's private
+	// baseline (the benchmark solo on the same channel count with
+	// memory timing scaled by the thread count).
+	WeightedSpeedup float64 `json:"weighted_speedup"`
+
+	// MaxSlowdown and FairnessIndex are the fairness axis: slowdown_i
+	// = IPC_alone / IPC_shared, MaxSlowdown its maximum, and
+	// FairnessIndex = min slowdown / max slowdown in (0, 1] (1 means
+	// every thread suffers equally).
+	MaxSlowdown   float64 `json:"max_slowdown"`
+	FairnessIndex float64 `json:"fairness_index"`
+
+	// SumIPC and BusUtil are the raw aggregate throughput of the cell.
+	SumIPC  float64 `json:"sum_ipc"`
+	BusUtil float64 `json:"bus_util"`
+
+	// Pareto marks the rows on the fairness-vs-throughput frontier of
+	// their (mix, share, channels) cell group: no other policy in the
+	// group is at least as good on both axes and better on one.
+	Pareto bool `json:"pareto"`
+}
+
+// ArenaResult is the full sweep, grouped cell-major: rows iterate
+// mixes, then shares, then channels, then policies, so each contiguous
+// len(arenaPolicies) block is one frontier group.
+type ArenaResult struct {
+	Spec ArenaSpec  `json:"spec"`
+	Rows []ArenaRow `json:"rows"`
+}
+
+// shareLabel renders thread 0's allocation for keys and tables.
+func shareLabel(s core.Share) string {
+	if s == (core.Share{}) {
+		return "eq"
+	}
+	return fmt.Sprintf("%d-%d", s.Num, s.Den)
+}
+
+// arenaShares expands thread 0's allocation to a full share vector
+// (nil for the equal split, which sim defaults to 1/N).
+func arenaShares(s0 core.Share, n int) []core.Share {
+	if s0 == (core.Share{}) {
+		return nil
+	}
+	shares := make([]core.Share, n)
+	shares[0] = s0
+	for i := 1; i < n; i++ {
+		shares[i] = core.Share{Num: s0.Den - s0.Num, Den: s0.Den * (n - 1)}
+	}
+	return shares
+}
+
+// arenaSolo runs a benchmark's private baseline for an n-thread mix on
+// the given channel count: solo occupancy of a system whose memory
+// timing is uniformly scaled by n, the same baseline the paper's
+// normalized figures use.
+func (r *Runner) arenaSolo(bench string, n, channels int) (sim.ThreadResult, error) {
+	p, err := trace.ByName(bench)
+	if err != nil {
+		return sim.ThreadResult{}, err
+	}
+	cfg := sim.Config{Workload: []trace.Profile{p}}
+	cfg.Mem.Channels = channels
+	cfg.Mem.DRAM = dram.DefaultConfig()
+	cfg.Mem.DRAM.Timing = dram.DDR2800().Scale(n)
+	res, err := r.run(fmt.Sprintf("arena/solo/%s/x%d/ch%d", bench, n, channels), cfg)
+	if err != nil {
+		return sim.ThreadResult{}, err
+	}
+	return res.Threads[0], nil
+}
+
+// Arena runs the sweep. Rows come back cell-major (see ArenaResult)
+// with the Pareto frontier of each cell group marked.
+func (r *Runner) Arena(spec ArenaSpec) (ArenaResult, error) {
+	out := ArenaResult{Spec: spec}
+
+	// Warm the private baselines first: cells share them, and memoizing
+	// them up front keeps the parallel cell fan-out from simulating the
+	// same solo run twice.
+	type soloKey struct {
+		bench string
+		n, ch int
+	}
+	var solos []soloKey
+	seen := make(map[soloKey]bool)
+	for _, mix := range spec.Mixes {
+		for _, ch := range spec.Channels {
+			for _, b := range mix {
+				k := soloKey{b, len(mix), ch}
+				if !seen[k] {
+					seen[k] = true
+					solos = append(solos, k)
+				}
+			}
+		}
+	}
+	if err := r.parallelDo(len(solos), func(i int) error {
+		_, err := r.arenaSolo(solos[i].bench, solos[i].n, solos[i].ch)
+		return err
+	}); err != nil {
+		return out, err
+	}
+
+	type cell struct {
+		mix      []string
+		share0   core.Share
+		channels int
+		policy   string
+	}
+	var cells []cell
+	for _, mix := range spec.Mixes {
+		for _, s0 := range spec.Shares {
+			for _, ch := range spec.Channels {
+				for _, pol := range arenaPolicies {
+					cells = append(cells, cell{mix, s0, ch, pol})
+				}
+			}
+		}
+	}
+
+	rows := make([]ArenaRow, len(cells))
+	err := r.parallelDo(len(cells), func(i int) error {
+		c := cells[i]
+		n := len(c.mix)
+		factory, err := sim.PolicyByName(c.policy)
+		if err != nil {
+			return err
+		}
+		ps := make([]trace.Profile, n)
+		for t, b := range c.mix {
+			p, err := trace.ByName(b)
+			if err != nil {
+				return err
+			}
+			ps[t] = p
+		}
+		cfg := sim.Config{Workload: ps, Policy: factory, Shares: arenaShares(c.share0, n)}
+		cfg.Mem.Channels = c.channels
+		key := fmt.Sprintf("arena/%s/%s/s%s/ch%d",
+			strings.Join(c.mix, "+"), c.policy, shareLabel(c.share0), c.channels)
+		res, err := r.run(key, cfg)
+		if err != nil {
+			return err
+		}
+
+		row := ArenaRow{
+			Policy:   c.policy,
+			Workload: strings.Join(c.mix, "+"),
+			Share0:   shareLabel(c.share0),
+			Channels: c.channels,
+			BusUtil:  res.DataBusUtil,
+		}
+		minSd, maxSd := 0.0, 0.0
+		for t, th := range res.Threads {
+			alone, err := r.arenaSolo(c.mix[t], n, c.channels)
+			if err != nil {
+				return err
+			}
+			row.SumIPC += th.IPC
+			sd := alone.IPC / th.IPC
+			row.WeightedSpeedup += 1 / sd
+			if t == 0 || sd < minSd {
+				minSd = sd
+			}
+			if sd > maxSd {
+				maxSd = sd
+			}
+		}
+		row.MaxSlowdown = maxSd
+		row.FairnessIndex = minSd / maxSd
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+
+	// Mark each cell group's fairness-vs-throughput frontier.
+	for g := 0; g < len(rows); g += len(arenaPolicies) {
+		group := rows[g : g+len(arenaPolicies)]
+		for i := range group {
+			dominated := false
+			for j := range group {
+				if j == i {
+					continue
+				}
+				if group[j].WeightedSpeedup >= group[i].WeightedSpeedup &&
+					group[j].FairnessIndex >= group[i].FairnessIndex &&
+					(group[j].WeightedSpeedup > group[i].WeightedSpeedup ||
+						group[j].FairnessIndex > group[i].FairnessIndex) {
+					dominated = true
+					break
+				}
+			}
+			group[i].Pareto = !dominated
+		}
+	}
+	out.Rows = rows
+	return out, nil
+}
+
+// Render writes the arena as a text table, one frontier group per
+// block, Pareto rows starred.
+func (a ArenaResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Policy arena (extension): post-2006 scheduler lineage\n")
+	fmt.Fprintf(w, "throughput = weighted speedup vs the scaled private baseline;\n")
+	fmt.Fprintf(w, "fairness = min/max slowdown; * = on the cell's Pareto frontier\n\n")
+	for g := 0; g < len(a.Rows); g += len(arenaPolicies) {
+		group := a.Rows[g : g+len(arenaPolicies)]
+		h := group[0]
+		fmt.Fprintf(w, "%s  share0=%s  channels=%d\n", h.Workload, h.Share0, h.Channels)
+		fmt.Fprintf(w, "  %-10s %9s %9s %9s %8s %8s\n",
+			"policy", "wspeedup", "maxslow", "fairness", "sumIPC", "busUtil")
+		for _, r := range group {
+			star := " "
+			if r.Pareto {
+				star = "*"
+			}
+			fmt.Fprintf(w, "%s %-10s %9.3f %9.3f %9.3f %8.3f %8.3f\n",
+				star, r.Policy, r.WeightedSpeedup, r.MaxSlowdown, r.FairnessIndex,
+				r.SumIPC, r.BusUtil)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV emits the arena scatter points, one row per cell.
+func (a ArenaResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(a.Rows))
+	for _, r := range a.Rows {
+		pareto := "0"
+		if r.Pareto {
+			pareto = "1"
+		}
+		rows = append(rows, []string{
+			r.Workload, r.Share0, fmt.Sprint(r.Channels), r.Policy,
+			f(r.WeightedSpeedup), f(r.MaxSlowdown), f(r.FairnessIndex),
+			f(r.SumIPC), f(r.BusUtil), pareto,
+		})
+	}
+	return writeCSV(w, []string{
+		"workload", "share0", "channels", "policy",
+		"weighted_speedup", "max_slowdown", "fairness_index",
+		"sum_ipc", "bus_util", "pareto",
+	}, rows)
+}

@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Arena golden test: the QuickConfig arena sweep is frozen into
+// testdata/golden/arena.json — row identity, the Pareto flags, and the
+// fairness/throughput numbers. The simulator is deterministic, so any
+// drift means a behavioral change to a scheduler; bless deliberate
+// changes with
+//
+//	go test ./internal/exp -run TestArenaGolden -update
+//
+// On mismatch the fresh sweep is written as arena.got.json for diffing.
+
+const arenaGoldenFile = "testdata/golden/arena.json"
+
+func computeArena(t *testing.T) ArenaResult {
+	t.Helper()
+	res, err := NewRunner(QuickConfig()).Arena(DefaultArenaSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// arenaRowID identifies a row for diff messages.
+func arenaRowID(r ArenaRow) string {
+	return fmt.Sprintf("%s/s%s/ch%d/%s", r.Workload, r.Share0, r.Channels, r.Policy)
+}
+
+func diffArena(got, want ArenaResult) []string {
+	var diffs []string
+	if len(got.Rows) != len(want.Rows) {
+		return []string{fmt.Sprintf("row counts: got %d, golden %d", len(got.Rows), len(want.Rows))}
+	}
+	for i, g := range got.Rows {
+		w := want.Rows[i]
+		if arenaRowID(g) != arenaRowID(w) {
+			diffs = append(diffs, fmt.Sprintf("rows[%d]: %s vs %s", i, arenaRowID(g), arenaRowID(w)))
+			continue
+		}
+		pre := arenaRowID(g)
+		num := func(label string, gv, wv float64) {
+			if !closeEnough(gv, wv) {
+				diffs = append(diffs, fmt.Sprintf("%s/%s: got %v, golden %v", pre, label, gv, wv))
+			}
+		}
+		num("weighted_speedup", g.WeightedSpeedup, w.WeightedSpeedup)
+		num("max_slowdown", g.MaxSlowdown, w.MaxSlowdown)
+		num("fairness_index", g.FairnessIndex, w.FairnessIndex)
+		num("sum_ipc", g.SumIPC, w.SumIPC)
+		num("bus_util", g.BusUtil, w.BusUtil)
+		if g.Pareto != w.Pareto {
+			diffs = append(diffs, fmt.Sprintf("%s/pareto: got %v, golden %v", pre, g.Pareto, w.Pareto))
+		}
+	}
+	return diffs
+}
+
+// TestArenaGolden pins the arena's policy ordering at QuickConfig. The
+// qualitative lineage results hold regardless of the frozen numbers;
+// the golden comparison then locks the exact frontier.
+func TestArenaGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("arena sweep is slow")
+	}
+	got := computeArena(t)
+
+	// Qualitative invariants, independent of the golden numbers. The
+	// FQ-beats-FR-FCFS fairness claim is asserted only on the paper's
+	// headline pair at equal shares: under a deliberately skewed
+	// allocation FQ *enforces* unequal service (so an equality index
+	// must drop), and on the four-core mix slowdown balance is not the
+	// quantity FQ guarantees — those cells are pinned by the golden
+	// numbers instead.
+	byPolicy := func(group []ArenaRow, name string) ArenaRow {
+		for _, r := range group {
+			if r.Policy == name {
+				return r
+			}
+		}
+		t.Fatalf("policy %s missing from group %s", name, arenaRowID(group[0]))
+		return ArenaRow{}
+	}
+	for g := 0; g < len(got.Rows); g += len(arenaPolicies) {
+		group := got.Rows[g : g+len(arenaPolicies)]
+		id := arenaRowID(group[0])
+		if group[0].Workload == "vpr+art" && group[0].Share0 == "eq" {
+			fq, fr := byPolicy(group, "FQ-VFTF"), byPolicy(group, "FR-FCFS")
+			if fq.FairnessIndex < fr.FairnessIndex {
+				t.Errorf("%s: FQ-VFTF fairness %.4f below FR-FCFS %.4f",
+					id, fq.FairnessIndex, fr.FairnessIndex)
+			}
+		}
+		pareto := 0
+		for _, r := range group {
+			if r.Pareto {
+				pareto++
+			}
+			if r.FairnessIndex <= 0 || r.FairnessIndex > 1 {
+				t.Errorf("%s: fairness index %v outside (0, 1]", arenaRowID(r), r.FairnessIndex)
+			}
+			// MaxSlowdown below 1 is legitimate (a thread sharing two
+			// fast channels can beat its timing-scaled private
+			// baseline); it just has to be positive and finite.
+			if !(r.MaxSlowdown > 0) {
+				t.Errorf("%s: max slowdown %v not positive", arenaRowID(r), r.MaxSlowdown)
+			}
+		}
+		if pareto == 0 {
+			t.Errorf("%s: empty Pareto frontier", id)
+		}
+	}
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(arenaGoldenFile, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", arenaGoldenFile)
+		return
+	}
+
+	buf, err := os.ReadFile(arenaGoldenFile)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var want ArenaResult
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if diffs := diffArena(got, want); len(diffs) > 0 {
+		gotPath := "testdata/golden/arena.got.json"
+		if b, err := json.MarshalIndent(got, "", "  "); err == nil {
+			os.WriteFile(gotPath, append(b, '\n'), 0o644)
+		}
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Errorf("arena drifted from %s (%d mismatches); wrote %s — inspect the diff, then bless with -update if intended",
+			arenaGoldenFile, len(diffs), gotPath)
+	} else {
+		os.Remove("testdata/golden/arena.got.json")
+	}
+}
+
+// TestArenaArtifacts checks the render and CSV shapes on a minimal
+// sweep so the full golden run isn't needed to validate plumbing.
+func TestArenaArtifacts(t *testing.T) {
+	spec := ArenaSpec{
+		Mixes:    [][]string{{"vpr", "art"}},
+		Shares:   []core.Share{{}},
+		Channels: []int{1},
+	}
+	res, err := NewRunner(QuickConfig()).Arena(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(arenaPolicies) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(arenaPolicies))
+	}
+
+	var txt bytes.Buffer
+	res.Render(&txt)
+	for _, pol := range arenaPolicies {
+		if !strings.Contains(txt.String(), pol) {
+			t.Errorf("render omits policy %s", pol)
+		}
+	}
+
+	var csvBuf bytes.Buffer
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if lines[0] != "workload,share0,channels,policy,weighted_speedup,max_slowdown,fairness_index,sum_ipc,bus_util,pareto" {
+		t.Errorf("csv header %q", lines[0])
+	}
+	if want := 1 + len(arenaPolicies); len(lines) != want {
+		t.Errorf("csv has %d lines, want %d", len(lines), want)
+	}
+}

@@ -21,11 +21,15 @@ import (
 //     deltas, gauge values, histogram-bucket deltas) plus the fairness
 //     series and its summary, self-describing for plotting tools;
 //   - <key>.fairness.csv — the fairness series flattened to one row
-//     per (epoch, thread), plot-ready like the figure CSVs.
+//     per (epoch, thread), plot-ready like the figure CSVs. Every row
+//     leads with the run's policy name so fairness series from
+//     different schedulers (e.g. an arena sweep) concatenate into one
+//     plottable file.
 
 // seriesDoc is the schema of a <key>.series.json artifact.
 type seriesDoc struct {
 	Key      string           `json:"key"`
+	Policy   string           `json:"policy"`
 	Interval int64            `json:"interval"`
 	Epochs   int64            `json:"epochs"`
 	Samples  []metrics.Sample `json:"samples"`
@@ -59,6 +63,7 @@ func writeSeries(dir, key string, s *sim.System) error {
 
 	doc := seriesDoc{
 		Key:      key,
+		Policy:   s.Controller().Policy().Name(),
 		Interval: s.Sampler().Interval(),
 		Epochs:   s.Sampler().Epochs(),
 		Samples:  s.Sampler().Samples(-1),
@@ -88,6 +93,7 @@ func writeSeries(dir, key string, s *sim.System) error {
 	for _, fs := range doc.Fairness.Samples {
 		for t := range fs.Service {
 			rows = append(rows, []string{
+				doc.Policy,
 				strconv.FormatInt(fs.Epoch, 10), strconv.FormatInt(fs.Cycle, 10),
 				strconv.Itoa(t), strconv.FormatInt(fs.Service[t], 10),
 				f(fs.Share[t]), f(fs.Phi[t]), f(fs.Excess[t]),
@@ -96,7 +102,7 @@ func writeSeries(dir, key string, s *sim.System) error {
 		}
 	}
 	err = writeCSV(cf, []string{
-		"epoch", "cycle", "thread", "service", "share", "phi", "excess", "backlogged", "cum_shortfall",
+		"policy", "epoch", "cycle", "thread", "service", "share", "phi", "excess", "backlogged", "cum_shortfall",
 	}, rows)
 	if cerr := cf.Close(); err == nil {
 		err = cerr

@@ -49,6 +49,9 @@ func TestSeriesExport(t *testing.T) {
 		t.Errorf("series doc key=%q interval=%d samples=%d, want co/art+vpr/FQ-VFTF %d %d",
 			doc.Key, doc.Interval, len(doc.Samples), cfg.SampleInterval, wantEpochs)
 	}
+	if doc.Policy != "FQ-VFTF" {
+		t.Errorf("series doc policy %q, want FQ-VFTF", doc.Policy)
+	}
 	if len(doc.Fairness.Samples) != wantEpochs || doc.Fairness.Summary.Threads != 2 {
 		t.Errorf("fairness series %d samples / %d threads, want %d / 2",
 			len(doc.Fairness.Samples), doc.Fairness.Summary.Threads, wantEpochs)
@@ -59,11 +62,17 @@ func TestSeriesExport(t *testing.T) {
 		t.Fatalf("fairness csv missing: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(csvRaw)), "\n")
-	if lines[0] != "epoch,cycle,thread,service,share,phi,excess,backlogged,cum_shortfall" {
+	if lines[0] != "policy,epoch,cycle,thread,service,share,phi,excess,backlogged,cum_shortfall" {
 		t.Errorf("fairness csv header %q", lines[0])
 	}
 	if want := 1 + wantEpochs*2; len(lines) != want {
 		t.Errorf("fairness csv has %d lines, want %d", len(lines), want)
+	}
+	for i, line := range lines[1:] {
+		if !strings.HasPrefix(line, "FQ-VFTF,") {
+			t.Errorf("fairness csv row %d missing policy label: %q", i+1, line)
+			break
+		}
 	}
 }
 

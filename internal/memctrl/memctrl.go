@@ -199,7 +199,7 @@ const noSlot = int32(-1)
 type candidate struct {
 	slot  int32 // arena slot; noSlot for idle-close precharges
 	kind  dram.Kind
-	bank  int  // flat bank index
+	bank  int // flat bank index
 	row   int
 	key   int64
 	arr   int64
@@ -299,6 +299,12 @@ type Controller struct {
 	bankWake    []int64
 	nextEvent   int64
 
+	// ticker is the policy's interval entry point (nil for policies
+	// without window-based state). TickBegin fires it on boundary
+	// cycles; computeNextEvent clamps to its next boundary so the
+	// event-driven path never skips one.
+	ticker core.PolicyTicker
+
 	// aud is the optional runtime invariant auditor (nil when off).
 	aud *audit.Auditor
 
@@ -370,6 +376,7 @@ func New(cfg Config, policy core.Policy) (*Controller, error) {
 		eventDriven:   true,
 		bankWake:      make([]int64, nch*cfg.DRAM.Banks()),
 	}
+	c.ticker, _ = policy.(core.PolicyTicker)
 	for i := range c.freeSlots {
 		c.freeSlots[i] = int32(i)
 	}
@@ -785,6 +792,17 @@ func (c *Controller) TickBegin(now int64) bool {
 		c.met.vclockLag.Set(now + 1 - c.vclock)
 	}
 
+	// 3. Interval-based policies run their window-boundary work. The
+	// next-event bound is clamped to NextTickAt, so boundary cycles are
+	// always full ticks and this fires at exactly the boundary in fast
+	// and strict mode alike. A Key-feeding change invalidates every
+	// cached scheduling decision before this cycle's schedule phase.
+	if c.ticker != nil && now >= c.ticker.NextTickAt() {
+		if c.ticker.Tick(now) {
+			c.InvalidateScheduling()
+		}
+	}
+
 	if c.aud != nil {
 		c.aud.OnTick(now)
 	}
@@ -951,6 +969,13 @@ func (c *Controller) computeNextEvent(now int64) int64 {
 			if w := c.bankWake[b]; w < next {
 				next = w
 			}
+		}
+	}
+	// Interval-based policies must run their boundary work on a full
+	// tick: never skip past the policy's next window boundary.
+	if c.ticker != nil {
+		if t := c.ticker.NextTickAt(); t < next {
+			next = t
 		}
 	}
 	if next <= now {

@@ -105,6 +105,11 @@ func (c *Controller) SaveState(w *snapshot.Writer) {
 	ps, hasPolicy := c.policy.(core.PolicyState)
 	w.Bool(hasPolicy)
 	if hasPolicy {
+		// The policy name guards against cross-policy restores: two
+		// policies can share a state section with identical geometry
+		// (the vftBase family does), so the section marker alone cannot
+		// tell a FR-VFTF snapshot from a FR-VSTF one.
+		w.String(c.policy.Name())
 		ps.SaveState(w)
 	}
 	w.Bool(c.aud != nil)
@@ -271,6 +276,13 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 		return r.Err()
 	}
 	if hasPolicy {
+		name := r.String(snapshot.MaxString)
+		if r.Err() == nil && name != c.policy.Name() {
+			r.Fail("memctrl.Controller: snapshot carries %q policy state, controller runs %q", name, c.policy.Name())
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
 		if err := ps.LoadState(r); err != nil {
 			return err
 		}

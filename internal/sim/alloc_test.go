@@ -26,15 +26,21 @@ func TestStepZeroSteadyStateAllocs(t *testing.T) {
 	}
 	for _, tc := range []struct {
 		name    string
+		policy  PolicyFactory
 		workers int
 	}{
-		{"serial", 0},
-		{"parallel", 4},
+		{"serial", FQVFTF, 0},
+		{"parallel", FQVFTF, 4},
+		// The interval policies' Tick paths (blacklist promotion, boost
+		// retarget, budget refill) are held to the same zero-alloc bar.
+		{"bliss", BLISS, 0},
+		{"slowfair", SLOWFAIR, 0},
+		{"bankbw", BANKBW, 4},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := Config{
 				Workload: []trace.Profile{art, vpr, art, vpr},
-				Policy:   FQVFTF,
+				Policy:   tc.policy,
 				Seed:     37,
 				Workers:  tc.workers,
 			}

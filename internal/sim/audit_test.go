@@ -59,6 +59,9 @@ func TestAuditAllPolicies(t *testing.T) {
 		{"FR-VFTF", FRVFTF},
 		{"FQ-VFTF", FQVFTF},
 		{"FR-VSTF", FRVSTF},
+		{"BLISS", BLISS},
+		{"SLOW-FAIR", SLOWFAIR},
+		{"BANK-BW", BANKBW},
 	}
 	for _, p := range policies {
 		p := p

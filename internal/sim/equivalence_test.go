@@ -21,9 +21,10 @@ type controllerFingerprint struct {
 // skip-ahead path must reproduce the strict per-cycle path bit for bit.
 // A 2-core art+vpr mix (one bandwidth hog, one latency-sensitive
 // thread) runs for over 200k cycles — through multiple refresh windows
-// (tREF = 280k with warmup plus window) — under all five policies, and
-// the Result structs, virtual clocks, and command counts must match
-// exactly.
+// (tREF = 280k with warmup plus window) — under every policy, including
+// the interval-based arena lineage whose tick boundaries the fast path
+// must never skip, and the Result structs, virtual clocks, and command
+// counts must match exactly.
 func TestEventDrivenEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("equivalence sweep is slow")
@@ -45,6 +46,9 @@ func TestEventDrivenEquivalence(t *testing.T) {
 		{"FR-VFTF", FRVFTF},
 		{"FQ-VFTF", FQVFTF},
 		{"FR-VSTF", FRVSTF},
+		{"BLISS", BLISS},
+		{"SLOW-FAIR", SLOWFAIR},
+		{"BANK-BW", BANKBW},
 	}
 	const warmup, window = 50_000, 200_000
 	for _, p := range policies {

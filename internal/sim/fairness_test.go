@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/memctrl"
 	"repro/internal/trace"
 )
@@ -105,5 +107,76 @@ func TestFairnessSeriesBoundedVsDrift(t *testing.T) {
 	}
 	if last := fqSamples[len(fqSamples)-1].CumShortfall[vprT]; last != fq {
 		t.Errorf("FQ-VFTF last sample cum shortfall %.0f != summary %.0f", last, fq)
+	}
+}
+
+// TestFairnessPhiFallbackPerEpoch pins the monitor's phi sourcing: it
+// must re-resolve the allocated share at every epoch boundary, not
+// cache it at construction. For a shareless policy (BLISS) that means
+// the 1/N fallback on every sample and SetShare reporting unsupported;
+// for a share-carrying policy a mid-run SetShare must show up in every
+// later sample's Phi while earlier samples keep the old value.
+func TestFairnessPhiFallbackPerEpoch(t *testing.T) {
+	art, err := trace.ByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const interval = 5_000
+
+	// Shareless policy: phi falls back to 1/N on every epoch.
+	s, err := New(Config{
+		Workload:       []trace.Profile{art, vpr},
+		Policy:         BLISS,
+		Seed:           3,
+		SampleInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SetShare(0, core.Share{Num: 3, Den: 4}) {
+		t.Fatal("SetShare on a shareless policy reported support")
+	}
+	s.Step(4 * interval)
+	samples := s.Fairness().Samples(-1)
+	if len(samples) == 0 {
+		t.Fatal("no fairness samples taken")
+	}
+	for _, sm := range samples {
+		for th, phi := range sm.Phi {
+			if phi != 0.5 {
+				t.Fatalf("epoch %d thread %d phi = %v, want the 1/N fallback 0.5", sm.Epoch, th, phi)
+			}
+		}
+	}
+
+	// Share-carrying policy: a mid-run reassignment moves phi in every
+	// later epoch.
+	s, err = New(Config{
+		Workload:       []trace.Profile{art, vpr},
+		Policy:         FQVFTF,
+		Seed:           3,
+		SampleInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(2 * interval)
+	reassignedAt := s.Cycle()
+	if !s.SetShare(0, core.Share{Num: 3, Den: 4}) || !s.SetShare(1, core.Share{Num: 1, Den: 4}) {
+		t.Fatal("SetShare on FQ-VFTF reported unsupported")
+	}
+	s.Step(3 * interval)
+	for _, sm := range s.Fairness().Samples(-1) {
+		want := 0.5
+		if sm.Cycle > reassignedAt {
+			want = 0.75
+		}
+		if math.Abs(sm.Phi[0]-want) > 1e-12 {
+			t.Fatalf("epoch %d (cycle %d) thread 0 phi = %v, want %v", sm.Epoch, sm.Cycle, sm.Phi[0], want)
+		}
 	}
 }

@@ -42,6 +42,16 @@ var (
 	FRVSTF PolicyFactory = func(s []core.Share, n int, t dram.Timing) core.Policy {
 		return core.NewFRVSTF(s, n, t)
 	}
+	// The post-2006 arena lineage (see internal/core/policy_arena.go).
+	BLISS PolicyFactory = func(s []core.Share, _ int, _ dram.Timing) core.Policy {
+		return core.NewBLISS(len(s))
+	}
+	SLOWFAIR PolicyFactory = func(s []core.Share, _ int, t dram.Timing) core.Policy {
+		return core.NewSlowFair(len(s), t)
+	}
+	BANKBW PolicyFactory = func(s []core.Share, n int, _ dram.Timing) core.Policy {
+		return core.NewBankBW(len(s), n)
+	}
 )
 
 // PolicyByName resolves a policy name to its factory.
@@ -57,6 +67,12 @@ func PolicyByName(name string) (PolicyFactory, error) {
 		return FQVFTF, nil
 	case "FR-VSTF", "frvstf":
 		return FRVSTF, nil
+	case "BLISS", "bliss":
+		return BLISS, nil
+	case "SLOW-FAIR", "slowfair":
+		return SLOWFAIR, nil
+	case "BANK-BW", "bankbw":
+		return BANKBW, nil
 	}
 	return nil, fmt.Errorf("sim: unknown policy %q", name)
 }

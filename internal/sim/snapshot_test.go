@@ -139,6 +139,9 @@ func TestCheckpointRestoreBitIdentical(t *testing.T) {
 		{"FR-VFTF", FRVFTF},
 		{"FQ-VFTF", FQVFTF},
 		{"FR-VSTF", FRVSTF},
+		{"BLISS", BLISS},
+		{"SLOW-FAIR", SLOWFAIR},
+		{"BANK-BW", BANKBW},
 	}
 	const warmup, preCk, postCk = 2_000, 3_001, 4_999
 	for _, p := range policies {
@@ -380,16 +383,16 @@ func TestRestoreConfigMismatch(t *testing.T) {
 	snap := buf.Bytes()
 
 	mutations := map[string]func(*Config){
-		"policy":    func(c *Config) { c.Policy = FRFCFS },
-		"seed":      func(c *Config) { c.Seed = 12 },
-		"strict":    func(c *Config) { c.Strict = true },
-		"audit":     func(c *Config) { c.Audit = true },
-		"sampling":  func(c *Config) { c.SampleInterval = 0 },
-		"interval":  func(c *Config) { c.SampleInterval = 2_000 },
-		"workload":  func(c *Config) { c.Workload = []trace.Profile{vpr, art} },
-		"cores":     func(c *Config) { c.Workload = []trace.Profile{art, vpr, art} },
-		"transit":   func(c *Config) { c.ReqTransit = 20 },
-		"geometry":  func(c *Config) { c.Mem = memctrl.DefaultConfig(2); c.Mem.Channels = 2 },
+		"policy":   func(c *Config) { c.Policy = FRFCFS },
+		"seed":     func(c *Config) { c.Seed = 12 },
+		"strict":   func(c *Config) { c.Strict = true },
+		"audit":    func(c *Config) { c.Audit = true },
+		"sampling": func(c *Config) { c.SampleInterval = 0 },
+		"interval": func(c *Config) { c.SampleInterval = 2_000 },
+		"workload": func(c *Config) { c.Workload = []trace.Profile{vpr, art} },
+		"cores":    func(c *Config) { c.Workload = []trace.Profile{art, vpr, art} },
+		"transit":  func(c *Config) { c.ReqTransit = 20 },
+		"geometry": func(c *Config) { c.Mem = memctrl.DefaultConfig(2); c.Mem.Channels = 2 },
 	}
 	for name, mutate := range mutations {
 		name, mutate := name, mutate

@@ -37,7 +37,11 @@ const Magic = "FQMSSNAP"
 
 // Version is the current format version. Any change to a section's
 // field layout must bump it; Restore refuses other versions.
-const Version = 1
+//
+// History: v2 added the policy-name frame to the memctrl policy-state
+// block (guarding against cross-policy restores) and the audit layer's
+// interval-policy tracking state.
+const Version = 2
 
 // MaxSlice is the default element cap for variable-length sections
 // whose natural bound is configuration-dependent but small (queues,
