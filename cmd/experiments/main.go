@@ -10,12 +10,22 @@
 //	            [-serve addr] [-series-dir dir] [-sample-interval N]
 //	            [-checkpoint-dir dir] [-checkpoint-every N] [-resume]
 //	            [-arena] [-arena-out dir]
+//	            [-arena-mixes M] [-arena-shares S] [-arena-channels C]
+//	            [-worker url] [-worker-dir dir] [-worker-poll D]
 //
 // -arena (or -fig arena) races the post-2006 scheduler lineage —
 // FR-FCFS, FR-VFTF, FQ-VFTF, BLISS, SLOW-FAIR, BANK-BW — across
 // workload mixes, share splits, and channel counts and prints the
 // fairness-vs-throughput table with each cell's Pareto frontier
 // starred; -arena-out additionally writes arena.csv and arena.json.
+// -arena-mixes/-arena-shares/-arena-channels narrow the swept matrix
+// (e.g. -arena-mixes vpr+art -arena-shares eq,3-4 -arena-channels 1).
+//
+// -worker turns the process into a sweep-fabric worker: it leases
+// chunks from the sweepd coordinator at the given URL, executes them
+// with checkpoint-epoch heartbeats, uploads artifacts, and exits when
+// the coordinator reports the sweep done. All figure flags are ignored
+// in worker mode; the coordinator's job spec governs every run.
 //
 // -workers caps the sweep's total worker goroutines; -intra-workers
 // parallelizes each simulation internally (bit-identical results), and
@@ -36,17 +46,43 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
 )
+
+// runWorker joins a sweepd coordinator as a fabric worker until the
+// sweep completes (or fails, or the process is interrupted).
+func runWorker(url, dir string, poll time.Duration) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "fqms-worker-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	host, _ := os.Hostname()
+	name := fmt.Sprintf("%s-%d", host, os.Getpid())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := &fabric.Worker{Coordinator: url, Dir: dir, Name: name, Poll: poll}
+	fmt.Fprintf(os.Stderr, "experiments: worker %s leasing from %s\n", name, url)
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: worker %s done\n", name)
+	return nil
+}
 
 func main() {
 	var (
@@ -65,6 +101,12 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume each run from its checkpoint (or recall its persisted result) in -checkpoint-dir")
 		arena     = flag.Bool("arena", false, "run the policy arena (shorthand for -fig arena)")
 		arenaOut  = flag.String("arena-out", "", "directory receiving the arena's arena.csv and arena.json artifacts")
+		arenaMix  = flag.String("arena-mixes", "", "arena workload mixes, e.g. \"vpr+art,swim+mcf+vpr+art\" (empty = default)")
+		arenaShr  = flag.String("arena-shares", "", "arena thread-0 share splits, e.g. \"eq,3-4\" (empty = default)")
+		arenaCh   = flag.String("arena-channels", "", "arena channel counts, e.g. \"1,2\" (empty = default)")
+		workerURL = flag.String("worker", "", "run as a sweep-fabric worker against this coordinator URL")
+		workerDir = flag.String("worker-dir", "", "worker scratch directory (empty = a fresh temp dir)")
+		workerPol = flag.Duration("worker-poll", 100*time.Millisecond, "worker idle re-lease interval")
 	)
 	flag.Parse()
 	if *arena {
@@ -74,6 +116,13 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+
+	if *workerURL != "" {
+		if err := runWorker(*workerURL, *workerDir, *workerPol); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	cfg := exp.Config{Warmup: *warmup, Window: *window, Seed: *seed, Parallel: *par,
@@ -201,7 +250,11 @@ func main() {
 		})
 	case "arena":
 		timed("policy arena", func() error {
-			res, err := r.Arena(exp.DefaultArenaSpec())
+			spec, err := exp.ParseArenaSpec(*arenaMix, *arenaShr, *arenaCh)
+			if err != nil {
+				return err
+			}
+			res, err := r.Arena(spec)
 			if err != nil {
 				return err
 			}
@@ -212,22 +265,21 @@ func main() {
 			if err := os.MkdirAll(*arenaOut, 0o755); err != nil {
 				return err
 			}
-			cf, err := os.Create(filepath.Join(*arenaOut, "arena.csv"))
+			// The fabric merge writes arena artifacts through the same
+			// encoders, so a sharded sweep's files can be cmp'd against
+			// this path's byte for byte.
+			csvB, err := res.ArtifactCSV()
 			if err != nil {
 				return err
 			}
-			if err := res.WriteCSV(cf); err != nil {
-				cf.Close()
+			if err := os.WriteFile(filepath.Join(*arenaOut, "arena.csv"), csvB, 0o644); err != nil {
 				return err
 			}
-			if err := cf.Close(); err != nil {
-				return err
-			}
-			buf, err := json.MarshalIndent(res, "", "  ")
+			jsonB, err := res.ArtifactJSON()
 			if err != nil {
 				return err
 			}
-			return os.WriteFile(filepath.Join(*arenaOut, "arena.json"), append(buf, '\n'), 0o644)
+			return os.WriteFile(filepath.Join(*arenaOut, "arena.json"), jsonB, 0o644)
 		})
 	case "sweep":
 		timed("share sweep", func() error {

@@ -1,13 +1,12 @@
 package exp
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 
 	"repro/internal/core"
-	"repro/internal/dram"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -117,154 +116,37 @@ func arenaShares(s0 core.Share, n int) []core.Share {
 	return shares
 }
 
-// arenaSolo runs a benchmark's private baseline for an n-thread mix on
-// the given channel count: solo occupancy of a system whose memory
-// timing is uniformly scaled by n, the same baseline the paper's
-// normalized figures use.
-func (r *Runner) arenaSolo(bench string, n, channels int) (sim.ThreadResult, error) {
-	p, err := trace.ByName(bench)
-	if err != nil {
-		return sim.ThreadResult{}, err
-	}
-	cfg := sim.Config{Workload: []trace.Profile{p}}
-	cfg.Mem.Channels = channels
-	cfg.Mem.DRAM = dram.DefaultConfig()
-	cfg.Mem.DRAM.Timing = dram.DDR2800().Scale(n)
-	res, err := r.run(fmt.Sprintf("arena/solo/%s/x%d/ch%d", bench, n, channels), cfg)
-	if err != nil {
-		return sim.ThreadResult{}, err
-	}
-	return res.Threads[0], nil
-}
-
-// Arena runs the sweep. Rows come back cell-major (see ArenaResult)
-// with the Pareto frontier of each cell group marked.
+// Arena runs the sweep: the spec's units (solo baselines first — cells
+// share them, and memoizing them up front keeps the parallel cell
+// fan-out from simulating the same solo twice) execute on the runner's
+// worker budget, then ReduceArena folds the memoized Results into
+// cell-major rows (see ArenaResult) with each group's Pareto frontier
+// marked. The fabric coordinator runs the same units on remote workers
+// and the same reduction over their uploaded results, which is why a
+// sharded sweep's arena artifacts are byte-identical to this path's.
 func (r *Runner) Arena(spec ArenaSpec) (ArenaResult, error) {
-	out := ArenaResult{Spec: spec}
-
-	// Warm the private baselines first: cells share them, and memoizing
-	// them up front keeps the parallel cell fan-out from simulating the
-	// same solo run twice.
-	type soloKey struct {
-		bench string
-		n, ch int
-	}
-	var solos []soloKey
-	seen := make(map[soloKey]bool)
-	for _, mix := range spec.Mixes {
-		for _, ch := range spec.Channels {
-			for _, b := range mix {
-				k := soloKey{b, len(mix), ch}
-				if !seen[k] {
-					seen[k] = true
-					solos = append(solos, k)
-				}
-			}
+	var solos, cells []Unit
+	for _, u := range ArenaUnits(spec) {
+		if u.Solo() {
+			solos = append(solos, u)
+		} else {
+			cells = append(cells, u)
 		}
 	}
 	if err := r.parallelDo(len(solos), func(i int) error {
-		_, err := r.arenaSolo(solos[i].bench, solos[i].n, solos[i].ch)
+		_, err := r.RunUnit(solos[i])
 		return err
 	}); err != nil {
-		return out, err
+		return ArenaResult{Spec: spec}, err
 	}
-
-	type cell struct {
-		mix      []string
-		share0   core.Share
-		channels int
-		policy   string
+	if err := r.parallelDo(len(cells), func(i int) error {
+		_, err := r.RunUnit(cells[i])
+		return err
+	}); err != nil {
+		return ArenaResult{Spec: spec}, err
 	}
-	var cells []cell
-	for _, mix := range spec.Mixes {
-		for _, s0 := range spec.Shares {
-			for _, ch := range spec.Channels {
-				for _, pol := range arenaPolicies {
-					cells = append(cells, cell{mix, s0, ch, pol})
-				}
-			}
-		}
-	}
-
-	rows := make([]ArenaRow, len(cells))
-	err := r.parallelDo(len(cells), func(i int) error {
-		c := cells[i]
-		n := len(c.mix)
-		factory, err := sim.PolicyByName(c.policy)
-		if err != nil {
-			return err
-		}
-		ps := make([]trace.Profile, n)
-		for t, b := range c.mix {
-			p, err := trace.ByName(b)
-			if err != nil {
-				return err
-			}
-			ps[t] = p
-		}
-		cfg := sim.Config{Workload: ps, Policy: factory, Shares: arenaShares(c.share0, n)}
-		cfg.Mem.Channels = c.channels
-		key := fmt.Sprintf("arena/%s/%s/s%s/ch%d",
-			strings.Join(c.mix, "+"), c.policy, shareLabel(c.share0), c.channels)
-		res, err := r.run(key, cfg)
-		if err != nil {
-			return err
-		}
-
-		row := ArenaRow{
-			Policy:   c.policy,
-			Workload: strings.Join(c.mix, "+"),
-			Share0:   shareLabel(c.share0),
-			Channels: c.channels,
-			BusUtil:  res.DataBusUtil,
-		}
-		minSd, maxSd := 0.0, 0.0
-		for t, th := range res.Threads {
-			alone, err := r.arenaSolo(c.mix[t], n, c.channels)
-			if err != nil {
-				return err
-			}
-			row.SumIPC += th.IPC
-			sd := alone.IPC / th.IPC
-			row.WeightedSpeedup += 1 / sd
-			if t == 0 || sd < minSd {
-				minSd = sd
-			}
-			if sd > maxSd {
-				maxSd = sd
-			}
-		}
-		row.MaxSlowdown = maxSd
-		row.FairnessIndex = minSd / maxSd
-		rows[i] = row
-		return nil
-	})
-	if err != nil {
-		return out, err
-	}
-
-	// Mark each cell group's fairness-vs-throughput frontier.
-	for g := 0; g < len(rows); g += len(arenaPolicies) {
-		group := rows[g : g+len(arenaPolicies)]
-		for i := range group {
-			dominated := false
-			for j := range group {
-				if j == i {
-					continue
-				}
-				if group[j].WeightedSpeedup >= group[i].WeightedSpeedup &&
-					group[j].FairnessIndex >= group[i].FairnessIndex &&
-					(group[j].WeightedSpeedup > group[i].WeightedSpeedup ||
-						group[j].FairnessIndex > group[i].FairnessIndex) {
-					dominated = true
-					break
-				}
-			}
-			group[i].Pareto = !dominated
-		}
-	}
-	out.Rows = rows
-	return out, nil
+	// Every unit is memoized now; the reduction just recalls them.
+	return ReduceArena(spec, r.RunUnit)
 }
 
 // Render writes the arena as a text table, one frontier group per
@@ -311,4 +193,24 @@ func (a ArenaResult) WriteCSV(w io.Writer) error {
 		"weighted_speedup", "max_slowdown", "fairness_index",
 		"sum_ipc", "bus_util", "pareto",
 	}, rows)
+}
+
+// ArtifactCSV renders the arena.csv artifact bytes. cmd/experiments
+// and the fabric merge both emit through here, so the two paths'
+// artifacts can only agree or both be wrong.
+func (a ArenaResult) ArtifactCSV() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := a.WriteCSV(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ArtifactJSON renders the arena.json artifact bytes.
+func (a ArenaResult) ArtifactJSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
 }

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -86,6 +87,16 @@ type Config struct {
 	// cycles. Resumed runs are bit-identical to uninterrupted ones —
 	// same Results, same series artifacts, byte for byte.
 	Resume bool
+
+	// CheckpointSink, when non-nil, observes every checkpoint the
+	// runner writes: right after <key>.ckpt lands on disk the sink
+	// receives the run's memo key, the checkpointed cycle, and the raw
+	// snapshot bytes. A sink error aborts the run with that error. The
+	// fabric worker (internal/fabric) uses this to upload each
+	// checkpoint to its coordinator inside the same lease heartbeat,
+	// so a kill -9'd worker's chunk resumes elsewhere from the last
+	// uploaded state.
+	CheckpointSink func(key string, cycle int64, data []byte) error
 }
 
 // DefaultCheckpointEvery is the auto-checkpoint interval when
@@ -290,7 +301,7 @@ func (r *Runner) runSim(key string, cfg sim.Config) (*sim.System, sim.Result, in
 			sys.BeginMeasurement()
 		}
 		if sys.Cycle() < total {
-			if err := sys.CheckpointFile(ckpt); err != nil {
+			if err := r.writeCheckpoint(key, ckpt, sys); err != nil {
 				return nil, sim.Result{}, 0, fmt.Errorf("checkpoint %s: %w", ckpt, err)
 			}
 			if stop := r.noteCheckpoint(); stop {
@@ -300,6 +311,28 @@ func (r *Runner) runSim(key string, cfg sim.Config) (*sim.System, sim.Result, in
 	}
 	sys.FinishAudit()
 	return sys, sys.Results(), total - start, nil
+}
+
+// writeCheckpoint persists one checkpoint. Without a sink it defers to
+// the simulator's atomic CheckpointFile; with one it snapshots through
+// a buffer so the sink sees exactly the bytes on disk, then writes the
+// file with the same temp+rename atomicity.
+func (r *Runner) writeCheckpoint(key, path string, sys *sim.System) error {
+	if r.cfg.CheckpointSink == nil {
+		return sys.CheckpointFile(path)
+	}
+	var buf bytes.Buffer
+	if err := sys.Checkpoint(&buf); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return r.cfg.CheckpointSink(key, sys.Cycle(), buf.Bytes())
 }
 
 // noteCheckpoint implements the stopAfterCheckpoints test hook.

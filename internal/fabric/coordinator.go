@@ -1,0 +1,684 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// DefaultLeaseExpiry is how long a lease survives without a heartbeat
+// before its chunk is reassigned.
+const DefaultLeaseExpiry = 30 * time.Second
+
+// DefaultRetryBudget is how many lease grants a chunk gets before the
+// job fails: the first assignment plus two retries.
+const DefaultRetryBudget = 3
+
+// maxRequestBody bounds every request body the coordinator decodes,
+// checkpoint uploads included; anything larger errors cleanly instead
+// of ballooning memory.
+const maxRequestBody = 64 << 20
+
+// CoordinatorConfig configures a sweep coordinator.
+type CoordinatorConfig struct {
+	// Job is the sweep to shard.
+	Job JobSpec
+
+	// LeaseExpiry is the heartbeat deadline (0 = DefaultLeaseExpiry).
+	LeaseExpiry time.Duration
+
+	// RetryBudget is the lease grants allowed per chunk before the job
+	// fails (0 = DefaultRetryBudget).
+	RetryBudget int
+
+	// LeaseSeed, when nonzero, hands out pending chunks in a seeded
+	// pseudo-random order instead of lowest-index-first. The
+	// determinism tests use it to prove chunk order cannot matter.
+	LeaseSeed uint64
+
+	// Now is the coordinator's clock (nil = time.Now). Tests inject a
+	// fake clock to drive lease expiry deterministically.
+	Now func() time.Time
+}
+
+// chunk states.
+type chunkState int
+
+const (
+	chunkPending chunkState = iota
+	chunkLeased
+	chunkDone
+)
+
+func (s chunkState) String() string {
+	switch s {
+	case chunkPending:
+		return "pending"
+	case chunkLeased:
+		return "leased"
+	case chunkDone:
+		return "done"
+	}
+	return fmt.Sprintf("chunkState(%d)", int(s))
+}
+
+// chunk is one work unit's queue entry.
+type chunk struct {
+	unit     exp.Unit
+	state    chunkState
+	attempts int // lease grants so far
+	lease    string
+	worker   string
+	expiry   time.Time
+
+	ckpt        string // blob hash of the latest uploaded checkpoint
+	ckptCycle   int64
+	resumedFrom int64 // cycle the latest attempt restored from
+	credited    int64 // cycles already credited to progress
+
+	artifacts map[string]string // artifact kind -> blob hash
+}
+
+// Coordinator owns the work queue, the lease table, and the artifact
+// store for one job. All state sits behind one mutex; handlers expire
+// stale leases on entry, so a dead worker's chunk returns to the queue
+// the next time anyone talks to the coordinator (or Wait polls it).
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	job   JobSpec
+	store *Store
+	prog  *telemetry.Progress
+	rng   *rand.Rand
+	now   func() time.Time
+
+	mu       sync.Mutex
+	chunks   []*chunk
+	leases   map[string]int // live lease token -> chunk index
+	leaseSeq int
+	done     int
+	failed   error
+}
+
+// NewCoordinator shards the job into chunks (one per arena unit) and
+// returns a coordinator ready to Serve.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	job := cfg.Job.withDefaults()
+	units := exp.ArenaUnits(job.Spec)
+	if len(units) == 0 {
+		return nil, errors.New("fabric: job spec expands to zero chunks")
+	}
+	// Every unit must materialize before any worker burns time on it.
+	for _, u := range units {
+		if _, err := u.SimConfig(); err != nil {
+			return nil, fmt.Errorf("fabric: invalid unit %s: %w", u.Key, err)
+		}
+	}
+	if cfg.LeaseExpiry <= 0 {
+		cfg.LeaseExpiry = DefaultLeaseExpiry
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		job:    job,
+		store:  NewStore(),
+		prog:   telemetry.NewProgress(len(units)),
+		now:    cfg.Now,
+		leases: make(map[string]int),
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if cfg.LeaseSeed != 0 {
+		c.rng = rand.New(rand.NewSource(int64(cfg.LeaseSeed)))
+	}
+	for _, u := range units {
+		c.chunks = append(c.chunks, &chunk{unit: u, artifacts: make(map[string]string)})
+	}
+	return c, nil
+}
+
+// Progress exposes the aggregated sweep progress (chunks done,
+// simulated cycles credited by worker heartbeats and completions) that
+// /progress serves; telemetry's ProgressSnapshot is the shared schema
+// with the single-process status server.
+func (c *Coordinator) Progress() *telemetry.Progress { return c.prog }
+
+// Store exposes the artifact store (tests and sweepd's summary line).
+func (c *Coordinator) Store() *Store { return c.store }
+
+// Done reports whether every chunk completed.
+func (c *Coordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	return c.done == len(c.chunks)
+}
+
+// Err returns the job failure, if any (retry budget exhausted).
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	return c.failed
+}
+
+// Wait blocks until the job completes, fails, or ctx ends. Its polling
+// also drives lease expiry while every worker is busy or dead.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		c.mu.Lock()
+		c.expireLocked()
+		done, failed := c.done == len(c.chunks), c.failed
+		c.mu.Unlock()
+		if failed != nil {
+			return failed
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// expireLocked returns timed-out leases to the queue. A chunk that has
+// exhausted its retry budget fails the whole job: something is
+// systematically killing its workers, and silent infinite retry would
+// hide it. Called under c.mu from every entry point.
+func (c *Coordinator) expireLocked() {
+	now := c.now()
+	for i, ch := range c.chunks {
+		if ch.state != chunkLeased || now.Before(ch.expiry) {
+			continue
+		}
+		delete(c.leases, ch.lease)
+		ch.lease = ""
+		ch.worker = ""
+		ch.state = chunkPending
+		if ch.attempts >= c.cfg.RetryBudget && c.failed == nil {
+			c.failed = fmt.Errorf("fabric: chunk %d (%s) exhausted its retry budget (%d leases)",
+				i, ch.unit.Key, ch.attempts)
+		}
+	}
+}
+
+// pickPendingLocked selects the next chunk to lease: lowest index, or
+// a seeded random pending chunk when LeaseSeed scrambles the order.
+func (c *Coordinator) pickPendingLocked() int {
+	var pending []int
+	for i, ch := range c.chunks {
+		if ch.state == chunkPending {
+			if c.rng == nil {
+				return i
+			}
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return -1
+	}
+	return pending[c.rng.Intn(len(pending))]
+}
+
+// Handler returns the coordinator's HTTP endpoint map.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "fqms sweep coordinator\n\n"+
+			"/job          GET: the job spec every chunk shares\n"+
+			"/lease        POST {worker}: lease the next chunk\n"+
+			"/heartbeat    POST {lease,cycle,checkpoint}: renew + upload checkpoint\n"+
+			"/complete     POST {lease,cycle,result,series,fairness}: finish a chunk\n"+
+			"/blob/<hash>  GET: fetch a stored blob (e.g. a resume checkpoint)\n"+
+			"/progress     GET: aggregated sweep progress\n"+
+			"/status       GET: per-chunk queue state\n")
+	})
+	mux.HandleFunc("/job", c.handleJob)
+	mux.HandleFunc("/lease", c.handleLease)
+	mux.HandleFunc("/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/complete", c.handleComplete)
+	mux.HandleFunc("/blob/", c.handleBlob)
+	mux.HandleFunc("/progress", c.handleProgress)
+	mux.HandleFunc("/status", c.handleStatus)
+	return mux
+}
+
+// decodeBody reads a bounded JSON body into v, rejecting trailing
+// garbage. Every decode error surfaces as a clean 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(v); err != nil {
+		writeStatus(w, http.StatusBadRequest, statusReply{Status: "error", Error: "bad request body: " + err.Error()})
+		return false
+	}
+	if dec.More() {
+		writeStatus(w, http.StatusBadRequest, statusReply{Status: "error", Error: "trailing data after JSON body"})
+		return false
+	}
+	return true
+}
+
+func writeStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeStatus(w, http.StatusMethodNotAllowed, statusReply{Status: "error", Error: "POST only"})
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	writeStatus(w, http.StatusOK, c.job)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req leaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	if c.failed != nil {
+		writeStatus(w, http.StatusOK, leaseResponse{Status: statusFailed, Error: c.failed.Error()})
+		return
+	}
+	if c.done == len(c.chunks) {
+		writeStatus(w, http.StatusOK, leaseResponse{Status: statusDone})
+		return
+	}
+	i := c.pickPendingLocked()
+	if i < 0 {
+		writeStatus(w, http.StatusOK, leaseResponse{Status: statusWait})
+		return
+	}
+	ch := c.chunks[i]
+	c.leaseSeq++
+	ch.lease = fmt.Sprintf("l%d", c.leaseSeq)
+	ch.worker = req.Worker
+	ch.state = chunkLeased
+	ch.attempts++
+	ch.expiry = c.now().Add(c.cfg.LeaseExpiry)
+	ch.resumedFrom = ch.ckptCycle
+	c.leases[ch.lease] = i
+	c.prog.Start(ch.unit.Key)
+	writeStatus(w, http.StatusOK, leaseResponse{
+		Status:          statusLease,
+		Chunk:           i,
+		Attempt:         ch.attempts,
+		Lease:           ch.lease,
+		Unit:            ch.unit,
+		Checkpoint:      ch.ckpt,
+		CheckpointCycle: ch.ckptCycle,
+	})
+}
+
+// resolveLease maps a lease token to its chunk, under c.mu. A missing
+// token means the lease expired (and was possibly reassigned) or never
+// existed — either way the worker must abandon the chunk, so both get
+// the same 409.
+func (c *Coordinator) resolveLeaseLocked(token string) (*chunk, bool) {
+	i, ok := c.leases[token]
+	if !ok {
+		return nil, false
+	}
+	return c.chunks[i], true
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req heartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	ch, ok := c.resolveLeaseLocked(req.Lease)
+	if !ok {
+		writeStatus(w, http.StatusConflict, statusReply{Status: "expired", Error: "unknown or expired lease"})
+		return
+	}
+	if req.Cycle < 0 || req.Cycle > c.job.TotalCycles() {
+		writeStatus(w, http.StatusBadRequest, statusReply{Status: "error", Error: "cycle out of range"})
+		return
+	}
+	ch.expiry = c.now().Add(c.cfg.LeaseExpiry)
+	if len(req.Checkpoint) > 0 {
+		ch.ckpt = c.store.Put(req.Checkpoint)
+		ch.ckptCycle = req.Cycle
+	}
+	c.creditLocked(ch, req.Cycle)
+	writeStatus(w, http.StatusOK, statusReply{Status: statusOK})
+}
+
+// creditLocked advances the chunk's progress high-water mark; cycles
+// are credited once however many times a region is re-led after
+// restores.
+func (c *Coordinator) creditLocked(ch *chunk, cycle int64) {
+	if cycle > ch.credited {
+		c.prog.AddCycles(cycle - ch.credited)
+		ch.credited = cycle
+	}
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req completeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	ch, ok := c.resolveLeaseLocked(req.Lease)
+	if !ok {
+		// Duplicate, late, or replayed completion: the chunk is done
+		// (or re-leased elsewhere); nothing may be overwritten or
+		// reassigned on its account.
+		writeStatus(w, http.StatusConflict, statusReply{Status: "expired", Error: "unknown or expired lease"})
+		return
+	}
+	var res sim.Result
+	if err := json.Unmarshal(req.Result, &res); err != nil {
+		writeStatus(w, http.StatusBadRequest, statusReply{Status: "error", Error: "result is not a sim.Result: " + err.Error()})
+		return
+	}
+	if c.job.SampleInterval > 0 && (len(req.Series) == 0 || len(req.Fairness) == 0) {
+		writeStatus(w, http.StatusBadRequest, statusReply{Status: "error", Error: "sampled job completion missing series artifacts"})
+		return
+	}
+	ch.artifacts["result"] = c.store.Put(req.Result)
+	if len(req.Series) > 0 {
+		ch.artifacts["series"] = c.store.Put(req.Series)
+	}
+	if len(req.Fairness) > 0 {
+		ch.artifacts["fairness"] = c.store.Put(req.Fairness)
+	}
+	delete(c.leases, req.Lease)
+	ch.lease = ""
+	ch.state = chunkDone
+	c.done++
+	c.creditLocked(ch, c.job.TotalCycles())
+	c.prog.Finish(ch.unit.Key)
+	writeStatus(w, http.StatusOK, statusReply{Status: statusOK})
+}
+
+func (c *Coordinator) handleBlob(w http.ResponseWriter, r *http.Request) {
+	hash := strings.TrimPrefix(r.URL.Path, "/blob/")
+	b, ok := c.store.Get(hash)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(b)
+}
+
+func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.expireLocked()
+	c.mu.Unlock()
+	writeStatus(w, http.StatusOK, c.prog.Snapshot())
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeStatus(w, http.StatusOK, c.Status())
+}
+
+// Status snapshots the queue.
+func (c *Coordinator) Status() StatusReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	rep := StatusReport{Total: len(c.chunks)}
+	if c.failed != nil {
+		rep.Failed = c.failed.Error()
+	}
+	rep.StoreBlobs, rep.StoreBytes, rep.StoreDedup = c.store.Stats()
+	for i, ch := range c.chunks {
+		switch ch.state {
+		case chunkPending:
+			rep.Pending++
+		case chunkLeased:
+			rep.Leased++
+		case chunkDone:
+			rep.Done++
+		}
+		rep.Chunks = append(rep.Chunks, ChunkStatus{
+			Chunk:           i,
+			Key:             ch.unit.Key,
+			State:           ch.state.String(),
+			Worker:          ch.worker,
+			Attempts:        ch.attempts,
+			CheckpointCycle: ch.ckptCycle,
+			ResumedFrom:     ch.resumedFrom,
+		})
+	}
+	return rep
+}
+
+// results rebuilds the per-unit Result map from uploaded artifacts.
+func (c *Coordinator) results() (map[string]sim.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done != len(c.chunks) {
+		return nil, fmt.Errorf("fabric: job incomplete (%d/%d chunks)", c.done, len(c.chunks))
+	}
+	out := make(map[string]sim.Result, len(c.chunks))
+	for _, ch := range c.chunks {
+		b, ok := c.store.Get(ch.artifacts["result"])
+		if !ok {
+			return nil, fmt.Errorf("fabric: chunk %s lost its result blob", ch.unit.Key)
+		}
+		var res sim.Result
+		if err := json.Unmarshal(b, &res); err != nil {
+			return nil, fmt.Errorf("fabric: chunk %s result: %w", ch.unit.Key, err)
+		}
+		out[ch.unit.Key] = res
+	}
+	return out, nil
+}
+
+// Arena reduces the completed job's uploaded results into the same
+// ArenaResult a single-process sweep computes — identical float
+// arithmetic via exp.ReduceArena, so identical rows.
+func (c *Coordinator) Arena() (exp.ArenaResult, error) {
+	results, err := c.results()
+	if err != nil {
+		return exp.ArenaResult{}, err
+	}
+	return exp.ReduceArena(c.job.Spec, func(u exp.Unit) (sim.Result, error) {
+		res, ok := results[u.Key]
+		if !ok {
+			return sim.Result{}, fmt.Errorf("fabric: no result for unit %s", u.Key)
+		}
+		return res, nil
+	})
+}
+
+// WriteMerged materializes the completed job into dir: every chunk's
+// .result.json / .series.json / .fairness.csv verbatim as uploaded,
+// plus arena.csv and arena.json from the deterministic reduction — the
+// same file set, names, and bytes a single-process sweep with
+// CheckpointDir/SeriesDir/arena-out all pointed at one directory
+// leaves behind.
+func (c *Coordinator) WriteMerged(dir string) error {
+	arena, err := c.Arena()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	type file struct {
+		name string
+		hash string
+	}
+	var files []file
+	for _, ch := range c.chunks {
+		stem := exp.ArtifactStem(ch.unit.Key)
+		files = append(files, file{stem + ".result.json", ch.artifacts["result"]})
+		if h, ok := ch.artifacts["series"]; ok {
+			files = append(files, file{stem + ".series.json", h})
+		}
+		if h, ok := ch.artifacts["fairness"]; ok {
+			files = append(files, file{stem + ".fairness.csv", h})
+		}
+	}
+	c.mu.Unlock()
+	for _, f := range files {
+		b, ok := c.store.Get(f.hash)
+		if !ok {
+			return fmt.Errorf("fabric: merge lost blob for %s", f.name)
+		}
+		if err := os.WriteFile(filepath.Join(dir, f.name), b, 0o644); err != nil {
+			return err
+		}
+	}
+	csvB, err := arena.ArtifactCSV()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "arena.csv"), csvB, 0o644); err != nil {
+		return err
+	}
+	jsonB, err := arena.ArtifactJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "arena.json"), jsonB, 0o644)
+}
+
+// checkInvariants audits the queue's concurrency contract; the fuzz
+// and race tests call it after every hostile request. It must hold at
+// every instant the mutex is free:
+//
+//   - chunk states partition the queue and agree with the done count;
+//   - every live lease token maps to exactly one leased chunk and
+//     every leased chunk holds exactly one live token;
+//   - a done chunk has a result artifact and no lease — once done it
+//     can never be leased (assigned) again;
+//   - attempts never exceed the retry budget without failing the job.
+func (c *Coordinator) checkInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	done := 0
+	leased := make(map[string]int)
+	for i, ch := range c.chunks {
+		switch ch.state {
+		case chunkDone:
+			done++
+			if ch.lease != "" {
+				return fmt.Errorf("chunk %d done but holds lease %s", i, ch.lease)
+			}
+			if ch.artifacts["result"] == "" {
+				return fmt.Errorf("chunk %d done without a result artifact", i)
+			}
+		case chunkLeased:
+			if ch.lease == "" {
+				return fmt.Errorf("chunk %d leased without a token", i)
+			}
+			if prev, dup := leased[ch.lease]; dup {
+				return fmt.Errorf("lease %s held by chunks %d and %d", ch.lease, prev, i)
+			}
+			leased[ch.lease] = i
+			if j, ok := c.leases[ch.lease]; !ok || j != i {
+				return fmt.Errorf("chunk %d lease %s not in the lease table", i, ch.lease)
+			}
+		case chunkPending:
+			if ch.lease != "" {
+				return fmt.Errorf("chunk %d pending but holds lease %s", i, ch.lease)
+			}
+		default:
+			return fmt.Errorf("chunk %d in unknown state %d", i, ch.state)
+		}
+		if ch.attempts > c.cfg.RetryBudget {
+			return fmt.Errorf("chunk %d has %d attempts, budget %d", i, ch.attempts, c.cfg.RetryBudget)
+		}
+	}
+	if done != c.done {
+		return fmt.Errorf("done count %d disagrees with chunk states (%d)", c.done, done)
+	}
+	if len(leased) != len(c.leases) {
+		return fmt.Errorf("lease table has %d entries, chunks hold %d", len(c.leases), len(leased))
+	}
+	return nil
+}
+
+// Server is a running coordinator endpoint, telemetry.Server-shaped:
+// synchronous bind, background serve, graceful Shutdown.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve binds addr synchronously and serves the coordinator's handler
+// until Shutdown.
+func (c *Coordinator) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: c.Handler()},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Shutdown gracefully stops the server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}

@@ -1,0 +1,183 @@
+// Package fabric shards a sweep across workers: a coordinator serves
+// an HTTP/JSON work queue of simulation chunks (one per arena unit —
+// policy x workload x share x channels cell, plus the shared solo
+// baselines), workers lease chunks, step them in checkpoint-bounded
+// epochs through the exp runner, heartbeat progress with each epoch's
+// checkpoint attached, and upload the finished .result.json /
+// .series.json / .fairness.csv artifacts into the coordinator's
+// content-addressed store. A lease that stops heartbeating expires and
+// its chunk is reassigned — resuming from the last uploaded checkpoint,
+// not from scratch — within a bounded retry budget. When every chunk
+// completes, the coordinator merges the per-chunk artifacts into
+// exactly the files a single-process sweep emits: the per-run
+// artifacts verbatim, and arena.csv / arena.json recomputed through
+// exp.ReduceArena over the uploaded results.
+//
+// Determinism argument: a chunk is a pure function of (JobSpec, Unit) —
+// exp.Unit carries only names and scalars, the simulator is
+// deterministic, and checkpoint/restore is bit-identical (PR 5's
+// equivalence suite) — so whichever worker runs a chunk, however many
+// times its lease bounces, the uploaded artifacts are the bytes a
+// monolithic sweep writes. The merge step adds nothing of its own: it
+// copies those bytes and re-runs the same float reduction the serial
+// path uses. The fabric test battery pins this end to end, including
+// through a kill -9'd worker.
+package fabric
+
+import (
+	"repro/internal/exp"
+)
+
+// JobSpec describes one sharded sweep: the arena matrix plus the run
+// configuration every chunk shares. It travels to workers over GET
+// /job, so the coordinator is the single source of truth for what a
+// chunk means.
+type JobSpec struct {
+	// Spec is the arena matrix to shard.
+	Spec exp.ArenaSpec `json:"spec"`
+
+	// Warmup and Window are the per-run warmup and measurement cycles
+	// (zero selects exp.DefaultConfig's values).
+	Warmup int64 `json:"warmup"`
+	Window int64 `json:"window"`
+
+	// Seed perturbs the trace generators.
+	Seed uint64 `json:"seed"`
+
+	// SampleInterval > 0 makes every chunk emit .series.json and
+	// .fairness.csv time-series artifacts alongside its result.
+	SampleInterval int64 `json:"sample_interval"`
+
+	// CheckpointEvery is the chunk epoch in cycles: workers checkpoint,
+	// upload, and heartbeat every such interval (zero selects
+	// exp.DefaultCheckpointEvery). The lease expiry must comfortably
+	// exceed the wall-clock cost of one epoch.
+	CheckpointEvery int64 `json:"checkpoint_every"`
+}
+
+// withDefaults fills zero fields like the exp runner would.
+func (j JobSpec) withDefaults() JobSpec {
+	def := exp.DefaultConfig()
+	if j.Warmup <= 0 {
+		j.Warmup = def.Warmup
+	}
+	if j.Window <= 0 {
+		j.Window = def.Window
+	}
+	if j.CheckpointEvery <= 0 {
+		j.CheckpointEvery = exp.DefaultCheckpointEvery
+	}
+	return j
+}
+
+// ExpConfig is the runner configuration a single process executing
+// this job's runs uses, with every artifact rooted at dir. The serial
+// reference sweep and each worker's chunk execution both build their
+// runner from here, which is what makes their artifact bytes
+// comparable in the first place.
+func (j JobSpec) ExpConfig(dir string) exp.Config {
+	j = j.withDefaults()
+	cfg := exp.Config{
+		Warmup:          j.Warmup,
+		Window:          j.Window,
+		Seed:            j.Seed,
+		SampleInterval:  j.SampleInterval,
+		CheckpointDir:   dir,
+		CheckpointEvery: j.CheckpointEvery,
+	}
+	if j.SampleInterval > 0 {
+		cfg.SeriesDir = dir
+	}
+	return cfg
+}
+
+// TotalCycles is one chunk's full simulation length.
+func (j JobSpec) TotalCycles() int64 {
+	j = j.withDefaults()
+	return j.Warmup + j.Window
+}
+
+// Wire protocol bodies. []byte fields ride as base64 inside JSON.
+
+// leaseRequest asks for a chunk to work on.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Lease statuses.
+const (
+	statusLease  = "lease"  // a chunk is attached; go run it
+	statusWait   = "wait"   // nothing leasable now, poll again
+	statusDone   = "done"   // every chunk is complete; exit
+	statusFailed = "failed" // the job failed (retry budget exhausted)
+	statusOK     = "ok"     // heartbeat/completion accepted
+)
+
+// leaseResponse grants (or declines) a chunk.
+type leaseResponse struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	Chunk   int      `json:"chunk"`
+	Attempt int      `json:"attempt,omitempty"`
+	Lease   string   `json:"lease,omitempty"`
+	Unit    exp.Unit `json:"unit"`
+
+	// Checkpoint names the blob (GET /blob/<hash>) of the chunk's last
+	// uploaded checkpoint; empty means start from scratch.
+	Checkpoint      string `json:"checkpoint,omitempty"`
+	CheckpointCycle int64  `json:"checkpoint_cycle,omitempty"`
+}
+
+// heartbeatRequest renews a lease and, when the worker just
+// checkpointed, uploads the snapshot so a successor can resume.
+type heartbeatRequest struct {
+	Lease      string `json:"lease"`
+	Cycle      int64  `json:"cycle"`
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+}
+
+// completeRequest delivers a finished chunk's artifacts.
+type completeRequest struct {
+	Lease    string `json:"lease"`
+	Cycle    int64  `json:"cycle"`
+	Result   []byte `json:"result"`
+	Series   []byte `json:"series,omitempty"`
+	Fairness []byte `json:"fairness,omitempty"`
+}
+
+// statusReply is the ack for heartbeats and completions.
+type statusReply struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// ChunkStatus is one chunk's row in GET /status.
+type ChunkStatus struct {
+	Chunk    int    `json:"chunk"`
+	Key      string `json:"key"`
+	State    string `json:"state"` // "pending", "leased", "done"
+	Worker   string `json:"worker,omitempty"`
+	Attempts int    `json:"attempts"`
+
+	// CheckpointCycle is the cycle of the last uploaded checkpoint;
+	// ResumedFrom is the cycle the current/last attempt restored from
+	// (0 = started from scratch).
+	CheckpointCycle int64 `json:"checkpoint_cycle,omitempty"`
+	ResumedFrom     int64 `json:"resumed_from,omitempty"`
+}
+
+// StatusReport is GET /status: the queue at a glance.
+type StatusReport struct {
+	Total   int    `json:"total"`
+	Pending int    `json:"pending"`
+	Leased  int    `json:"leased"`
+	Done    int    `json:"done"`
+	Failed  string `json:"failed,omitempty"`
+
+	StoreBlobs int   `json:"store_blobs"`
+	StoreBytes int64 `json:"store_bytes"`
+	StoreDedup int64 `json:"store_dedup"`
+
+	Chunks []ChunkStatus `json:"chunks"`
+}

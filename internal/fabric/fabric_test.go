@@ -1,0 +1,468 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+// quickJob is the test battery's sweep: the paper's headline pair on
+// one channel — 6 policy cells plus 2 solo baselines = 8 chunks —
+// small enough to run twice (serial reference + sharded) in a test.
+func quickJob() JobSpec {
+	return JobSpec{
+		Spec: exp.ArenaSpec{
+			Mixes:    [][]string{{"vpr", "art"}},
+			Shares:   []core.Share{{}},
+			Channels: []int{1},
+		},
+		Warmup:          10_000,
+		Window:          40_000,
+		Seed:            3,
+		SampleInterval:  10_000,
+		CheckpointEvery: 20_000,
+	}
+}
+
+// serialArtifacts runs the job in one process — the exp.Runner path a
+// non-distributed sweep uses — and returns every artifact it leaves
+// behind (per-run .result.json/.series.json/.fairness.csv plus the
+// arena.csv/arena.json a -arena-out sweep writes), keyed by filename.
+func serialArtifacts(t *testing.T, job JobSpec) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	r := exp.NewRunner(job.ExpConfig(dir))
+	arena, err := r.Arena(job.Spec)
+	if err != nil {
+		t.Fatalf("serial reference sweep: %v", err)
+	}
+	out := make(map[string][]byte)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	if out["arena.csv"], err = arena.ArtifactCSV(); err != nil {
+		t.Fatal(err)
+	}
+	if out["arena.json"], err = arena.ArtifactJSON(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// compareDirs demands dir hold exactly the reference artifacts, byte
+// for byte.
+func compareDirs(t *testing.T, want map[string][]byte, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, e := range entries {
+		got[e.Name()] = true
+		wantB, ok := want[e.Name()]
+		if !ok {
+			t.Errorf("merged output has extra file %s", e.Name())
+			continue
+		}
+		gotB, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotB, wantB) {
+			i := 0
+			for i < len(gotB) && i < len(wantB) && gotB[i] == wantB[i] {
+				i++
+			}
+			t.Errorf("artifact %s differs from the serial sweep at byte %d", e.Name(), i)
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("merged output missing artifact %s", name)
+		}
+	}
+}
+
+// runWorkers drives n concurrent in-process workers to completion and
+// fails the test on any worker error.
+func runWorkers(t *testing.T, url string, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{
+				Coordinator: url,
+				Dir:         t.TempDir(),
+				Name:        fmt.Sprintf("w%d", i),
+				Poll:        5 * time.Millisecond,
+			}
+			errs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestShardedSweepDeterminism is the fabric's headline acceptance
+// test: a sweep sharded over 3 workers leasing chunks in a scrambled
+// order must merge into artifacts byte-identical to the single-process
+// exp.Runner sweep on the same spec — every per-run artifact and the
+// reduced arena.csv/arena.json alike.
+func TestShardedSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice")
+	}
+	job := quickJob()
+	want := serialArtifacts(t, job)
+
+	c, err := NewCoordinator(CoordinatorConfig{Job: job, LeaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	runWorkers(t, srv.URL, 3)
+
+	if !c.Done() {
+		t.Fatal("workers exited but the coordinator is not done")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatalf("queue invariants violated: %v", err)
+	}
+	merged := t.TempDir()
+	if err := c.WriteMerged(merged); err != nil {
+		t.Fatal(err)
+	}
+	compareDirs(t, want, merged)
+
+	// Progress aggregated the whole matrix: every chunk's full cycle
+	// count was credited exactly once across heartbeats + completions.
+	snap := c.Progress().Snapshot()
+	wantCycles := int64(len(exp.ArenaUnits(job.Spec))) * job.TotalCycles()
+	if snap.SimCycles != wantCycles {
+		t.Errorf("progress credited %d cycles, want %d", snap.SimCycles, wantCycles)
+	}
+	if snap.Done != snap.Total || snap.Done != len(exp.ArenaUnits(job.Spec)) {
+		t.Errorf("progress done/total = %d/%d, want %d/%d", snap.Done, snap.Total, len(exp.ArenaUnits(job.Spec)), len(exp.ArenaUnits(job.Spec)))
+	}
+}
+
+// fakeClock is a hand-cranked coordinator clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// request is a test-side raw HTTP call against the handler.
+func request(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeLease(t *testing.T, rec *httptest.ResponseRecorder) leaseResponse {
+	t.Helper()
+	var l leaseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &l); err != nil {
+		t.Fatalf("lease reply %q: %v", rec.Body.String(), err)
+	}
+	return l
+}
+
+// TestLeaseProtocolInvariants walks the lease lifecycle with a fake
+// clock: expiry reassigns a chunk to a new lease resuming from the
+// last uploaded checkpoint, late heartbeats and duplicate/replayed
+// completions 409 without disturbing state, and an exhausted retry
+// budget fails the job instead of looping forever.
+func TestLeaseProtocolInvariants(t *testing.T) {
+	job := quickJob()
+	job.SampleInterval = 0 // protocol-only test: completions carry just results
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	c, err := NewCoordinator(CoordinatorConfig{
+		Job:         job,
+		LeaseExpiry: 10 * time.Second,
+		RetryBudget: 3,
+		Now:         clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Handler()
+	check := func(step string) {
+		t.Helper()
+		if err := c.checkInvariants(); err != nil {
+			t.Fatalf("%s: invariants violated: %v", step, err)
+		}
+	}
+
+	// Method and body hygiene.
+	if rec := request(t, h, http.MethodGet, "/lease", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /lease: code %d, want 405", rec.Code)
+	}
+	if rec := request(t, h, http.MethodPost, "/lease", "{not json"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON lease: code %d, want 400", rec.Code)
+	}
+	if rec := request(t, h, http.MethodPost, "/lease", `{"worker":"w"} trailing`); rec.Code != http.StatusBadRequest {
+		t.Errorf("trailing garbage: code %d, want 400", rec.Code)
+	}
+	check("hygiene")
+
+	// Grant, heartbeat with a checkpoint, let the lease expire.
+	l1 := decodeLease(t, request(t, h, http.MethodPost, "/lease", `{"worker":"w1"}`))
+	if l1.Status != statusLease || l1.Lease != "l1" || l1.Attempt != 1 || l1.Checkpoint != "" {
+		t.Fatalf("first lease: %+v", l1)
+	}
+	hbJSON, _ := json.Marshal(heartbeatRequest{Lease: "l1", Cycle: 20_000, Checkpoint: []byte("snapshot-epoch-2")})
+	hb := string(hbJSON)
+	if rec := request(t, h, http.MethodPost, "/heartbeat", hb); rec.Code != http.StatusOK {
+		t.Fatalf("heartbeat: code %d body %s", rec.Code, rec.Body)
+	}
+	if rec := request(t, h, http.MethodPost, "/heartbeat", `{"lease":"l1","cycle":-4}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("negative cycle: code %d, want 400", rec.Code)
+	}
+	if rec := request(t, h, http.MethodPost, "/heartbeat", `{"lease":"l1","cycle":"many"}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("wrong-typed cycle: code %d, want 400", rec.Code)
+	}
+	check("heartbeat")
+
+	clock.Advance(11 * time.Second)
+
+	// The expired chunk is reassigned — same chunk, new lease, resume
+	// checkpoint attached.
+	l2 := decodeLease(t, request(t, h, http.MethodPost, "/lease", `{"worker":"w2"}`))
+	if l2.Status != statusLease || l2.Chunk != l1.Chunk || l2.Lease == l1.Lease || l2.Attempt != 2 {
+		t.Fatalf("reassigned lease: %+v", l2)
+	}
+	if l2.Checkpoint == "" || l2.CheckpointCycle != 20_000 {
+		t.Fatalf("reassignment lost the uploaded checkpoint: %+v", l2)
+	}
+	if rec := request(t, h, http.MethodGet, "/blob/"+l2.Checkpoint, ""); rec.Body.String() != "snapshot-epoch-2" {
+		t.Errorf("resume blob = %q", rec.Body.String())
+	}
+	check("reassign")
+
+	// The dead lease is dead: late heartbeat and late completion 409.
+	if rec := request(t, h, http.MethodPost, "/heartbeat", hb); rec.Code != http.StatusConflict {
+		t.Errorf("late heartbeat: code %d, want 409", rec.Code)
+	}
+	comp, _ := json.Marshal(completeRequest{Lease: l1.Lease, Cycle: 50_000, Result: []byte("{}")})
+	if rec := request(t, h, http.MethodPost, "/complete", string(comp)); rec.Code != http.StatusConflict {
+		t.Errorf("late completion: code %d, want 409", rec.Code)
+	}
+	check("late messages")
+
+	// Legitimate completion; then a replay of the same body must 409
+	// and must not double-count or reassign.
+	comp2, _ := json.Marshal(completeRequest{Lease: l2.Lease, Cycle: 50_000, Result: []byte("{}")})
+	if rec := request(t, h, http.MethodPost, "/complete", string(comp2)); rec.Code != http.StatusOK {
+		t.Fatalf("completion: code %d body %s", rec.Code, rec.Body)
+	}
+	if rec := request(t, h, http.MethodPost, "/complete", string(comp2)); rec.Code != http.StatusConflict {
+		t.Errorf("duplicate completion: code %d, want 409", rec.Code)
+	}
+	st := c.Status()
+	if st.Done != 1 || st.Chunks[l2.Chunk].State != "done" {
+		t.Fatalf("after duplicate completion: %+v", st)
+	}
+	// Hostile completion with a non-Result body is a clean 400.
+	l3 := decodeLease(t, request(t, h, http.MethodPost, "/lease", `{"worker":"w3"}`))
+	if l3.Chunk == l2.Chunk {
+		t.Fatalf("done chunk %d was reassigned", l2.Chunk)
+	}
+	badComp, _ := json.Marshal(completeRequest{Lease: l3.Lease, Cycle: 50_000, Result: []byte(`["not","a","result"]`)})
+	if rec := request(t, h, http.MethodPost, "/complete", string(badComp)); rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage result: code %d, want 400", rec.Code)
+	}
+	check("completion")
+
+	// Retry budget: expire l3's chunk twice more; the third expiry
+	// exhausts the budget and fails the job for everyone.
+	clock.Advance(11 * time.Second)
+	l4 := decodeLease(t, request(t, h, http.MethodPost, "/lease", `{"worker":"w4"}`))
+	if l4.Chunk != l3.Chunk || l4.Attempt != 2 {
+		t.Fatalf("expected chunk %d attempt 2, got %+v", l3.Chunk, l4)
+	}
+	clock.Advance(11 * time.Second)
+	l5 := decodeLease(t, request(t, h, http.MethodPost, "/lease", `{"worker":"w5"}`))
+	if l5.Chunk != l3.Chunk || l5.Attempt != 3 {
+		t.Fatalf("expected chunk %d attempt 3, got %+v", l3.Chunk, l5)
+	}
+	clock.Advance(11 * time.Second)
+	lFail := decodeLease(t, request(t, h, http.MethodPost, "/lease", `{"worker":"w6"}`))
+	if lFail.Status != statusFailed {
+		t.Fatalf("after exhausting the retry budget: %+v", lFail)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Errorf("job error = %v", err)
+	}
+	check("retry budget")
+}
+
+// TestConcurrentWorkersAndHostileReplays is the -race workout: real
+// concurrent workers contend for leases over live HTTP while a hostile
+// goroutine fires never-granted lease tokens at /heartbeat and
+// /complete; afterwards, every token that was ever granted is replayed
+// concurrently — pure duplicate completions and late heartbeats — and
+// the queue must hold its invariants with nothing double-assigned or
+// double-counted.
+func TestConcurrentWorkersAndHostileReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full sharded sweep")
+	}
+	job := quickJob()
+	c, err := NewCoordinator(CoordinatorConfig{Job: job, LeaseSeed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	stopHostile := make(chan struct{})
+	var hostileWG sync.WaitGroup
+	hostileWG.Add(1)
+	go func() {
+		defer hostileWG.Done()
+		client := srv.Client()
+		for i := 0; ; i++ {
+			select {
+			case <-stopHostile:
+				return
+			default:
+			}
+			token := fmt.Sprintf("l9%03d", i%50) // far beyond any granted token
+			hb, _ := json.Marshal(heartbeatRequest{Lease: token, Cycle: 1})
+			resp, err := client.Post(srv.URL+"/heartbeat", "application/json", bytes.NewReader(hb))
+			if err == nil {
+				if resp.StatusCode != http.StatusConflict {
+					t.Errorf("hostile heartbeat %s: code %d, want 409", token, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+			comp, _ := json.Marshal(completeRequest{Lease: token, Result: []byte("{}")})
+			resp, err = client.Post(srv.URL+"/complete", "application/json", bytes.NewReader(comp))
+			if err == nil {
+				if resp.StatusCode != http.StatusConflict {
+					t.Errorf("hostile completion %s: code %d, want 409", token, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	runWorkers(t, srv.URL, 6) // 6 workers, 8 chunks: real lease contention
+	close(stopHostile)
+	hostileWG.Wait()
+
+	if !c.Done() {
+		t.Fatal("sweep did not complete")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatalf("invariants after contention: %v", err)
+	}
+	doneBefore := c.Status().Done
+
+	// Replay every token ever granted, concurrently: all dead now.
+	c.mu.Lock()
+	granted := c.leaseSeq
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	client := srv.Client()
+	for i := 1; i <= granted; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			token := fmt.Sprintf("l%d", i)
+			hb, _ := json.Marshal(heartbeatRequest{Lease: token, Cycle: 1})
+			if resp, err := client.Post(srv.URL+"/heartbeat", "application/json", bytes.NewReader(hb)); err == nil {
+				if resp.StatusCode != http.StatusConflict {
+					t.Errorf("late heartbeat %s: code %d, want 409", token, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+			comp, _ := json.Marshal(completeRequest{Lease: token, Result: []byte("{}")})
+			if resp, err := client.Post(srv.URL+"/complete", "application/json", bytes.NewReader(comp)); err == nil {
+				if resp.StatusCode != http.StatusConflict {
+					t.Errorf("duplicate completion %s: code %d, want 409", token, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := c.checkInvariants(); err != nil {
+		t.Fatalf("invariants after replay storm: %v", err)
+	}
+	if got := c.Status().Done; got != doneBefore {
+		t.Errorf("replay storm changed done count: %d -> %d", doneBefore, got)
+	}
+	if err := c.WriteMerged(t.TempDir()); err != nil {
+		t.Errorf("merge after replay storm: %v", err)
+	}
+}
+
+// TestStoreContentAddressing pins the store's dedup semantics.
+func TestStoreContentAddressing(t *testing.T) {
+	s := NewStore()
+	h1 := s.Put([]byte("artifact"))
+	h2 := s.Put([]byte("artifact"))
+	h3 := s.Put([]byte("other"))
+	if h1 != h2 {
+		t.Errorf("identical blobs got different addresses %s / %s", h1, h2)
+	}
+	if h1 == h3 {
+		t.Error("distinct blobs collided")
+	}
+	blobs, size, dedup := s.Stats()
+	if blobs != 2 || size != int64(len("artifact")+len("other")) || dedup != 1 {
+		t.Errorf("stats = %d blobs, %d bytes, %d dedup", blobs, size, dedup)
+	}
+	if b, ok := s.Get(h1); !ok || string(b) != "artifact" {
+		t.Errorf("Get(%s) = %q, %v", h1, b, ok)
+	}
+	if _, ok := s.Get("no-such-hash"); ok {
+		t.Error("Get of a bogus hash succeeded")
+	}
+}

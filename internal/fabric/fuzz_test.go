@@ -1,0 +1,141 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// fuzzCoordinator builds a small coordinator and walks it into an
+// interesting state before the hostile request lands: chunk 0 is done
+// (lease l1 spent — a replayable token), chunk 1 is live under lease
+// l2, everything else is pending.
+func fuzzCoordinator(t *testing.T) (*Coordinator, http.Handler) {
+	t.Helper()
+	job := quickJob()
+	job.SampleInterval = 0
+	c, err := NewCoordinator(CoordinatorConfig{Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Handler()
+	l1 := decodeLease(t, request(t, h, http.MethodPost, "/lease", `{"worker":"w1"}`))
+	if l1.Status != statusLease || l1.Lease != "l1" {
+		t.Fatalf("prelude lease: %+v", l1)
+	}
+	if rec := request(t, h, http.MethodPost, "/heartbeat", `{"lease":"l1","cycle":10000,"checkpoint":"Y2twdA=="}`); rec.Code != http.StatusOK {
+		t.Fatalf("prelude heartbeat: %d %s", rec.Code, rec.Body)
+	}
+	if rec := request(t, h, http.MethodPost, "/complete", `{"lease":"l1","result":"e30="}`); rec.Code != http.StatusOK {
+		t.Fatalf("prelude complete: %d %s", rec.Code, rec.Body)
+	}
+	l2 := decodeLease(t, request(t, h, http.MethodPost, "/lease", `{"worker":"w2"}`))
+	if l2.Status != statusLease || l2.Lease != "l2" {
+		t.Fatalf("prelude second lease: %+v", l2)
+	}
+	return c, h
+}
+
+// FuzzFabricRequest throws arbitrary bodies at every coordinator
+// endpoint — oversized, truncated, wrong-typed, and replayed/duplicate
+// lease completions included. The contract under fire: error cleanly
+// (never panic), hold every queue invariant, and never let a hostile
+// request cause a chunk to be double-assigned or a done chunk to be
+// reassigned. The committed corpus under testdata/fuzz replays in CI
+// via the ordinary test runner.
+func FuzzFabricRequest(f *testing.F) {
+	// Endpoint selector 0..7; see the table in the fuzz body.
+	f.Add(byte(0), []byte(`{"worker":"w-fuzz"}`))
+	f.Add(byte(0), []byte(``))
+	f.Add(byte(1), []byte(`{"lease":"l2","cycle":20000,"checkpoint":"YWJj"}`)) // valid renewal
+	f.Add(byte(1), []byte(`{"lease":"l1","cycle":20000}`))                    // late heartbeat, dead lease
+	f.Add(byte(1), []byte(`{"lease":"l2","cycle":-7}`))
+	f.Add(byte(1), []byte(`{"lease":"l2","cycle":"many"}`)) // wrong-typed field
+	f.Add(byte(1), bytes.Repeat([]byte("A"), 1<<20))        // oversized garbage
+	f.Add(byte(2), []byte(`{"lease":"l1","result":"e30="}`)) // replayed duplicate completion
+	f.Add(byte(2), []byte(`{"lease":"l2","result":"e30="}`)) // legitimate completion
+	f.Add(byte(2), []byte(`{"lease":"l2","result":"!!!"}`))  // result not base64
+	f.Add(byte(2), []byte(`{"lease":"l2","res`))             // truncated mid-body
+	f.Add(byte(2), []byte(`{"lease":"l2","result":"e30="} trailing`))
+	f.Add(byte(2), []byte(`{"lease":"l2","result":"WyJub3QiLCJhIiwicmVzdWx0Il0="}`)) // result decodes but isn't a sim.Result
+	f.Add(byte(3), []byte("not-a-hash"))
+	f.Add(byte(4), []byte{})
+	f.Add(byte(5), []byte{0xff, 0xfe})
+	f.Add(byte(6), []byte(`{}`))
+	f.Add(byte(7), []byte(`GET me`))
+
+	f.Fuzz(func(t *testing.T, ep byte, body []byte) {
+		c, h := fuzzCoordinator(t)
+
+		switch ep % 8 {
+		case 0:
+			request(t, h, http.MethodPost, "/lease", string(body))
+		case 1:
+			request(t, h, http.MethodPost, "/heartbeat", string(body))
+		case 2:
+			request(t, h, http.MethodPost, "/complete", string(body))
+		case 3:
+			// Hash paths come from the body but must stay URL-safe.
+			n := len(body)
+			if n > 8 {
+				n = 8
+			}
+			request(t, h, http.MethodGet, fmt.Sprintf("/blob/%x", body[:n]), "")
+		case 4:
+			request(t, h, http.MethodGet, "/progress", "")
+		case 5:
+			request(t, h, http.MethodGet, "/status", "")
+		case 6:
+			request(t, h, http.MethodGet, "/job", "")
+		case 7:
+			request(t, h, http.MethodGet, "/", string(body))
+		}
+
+		if err := c.checkInvariants(); err != nil {
+			t.Fatalf("invariants violated by %q on endpoint %d: %v", body, ep%8, err)
+		}
+
+		// Drain the queue: whatever the hostile request did, no chunk
+		// may be handed out twice and chunk 0 (done since the prelude)
+		// may never be reassigned.
+		doneBefore := make(map[int]bool)
+		for _, ch := range c.Status().Chunks {
+			if ch.State == "done" {
+				doneBefore[ch.Chunk] = true
+			}
+		}
+		granted := make(map[int]bool)
+		for i := 0; i < len(c.chunks)+2; i++ {
+			lr := decodeLease(t, request(t, h, http.MethodPost, "/lease", `{"worker":"drain"}`))
+			if lr.Status != statusLease {
+				break
+			}
+			if granted[lr.Chunk] {
+				t.Fatalf("chunk %d double-assigned during drain", lr.Chunk)
+			}
+			if doneBefore[lr.Chunk] {
+				t.Fatalf("done chunk %d was reassigned", lr.Chunk)
+			}
+			granted[lr.Chunk] = true
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Fatalf("invariants violated after drain: %v", err)
+		}
+	})
+}
+
+// TestOversizedBodyRejected pins the request-body cap: a body past
+// maxRequestBody errors as a clean 400, it does not balloon memory or
+// panic.
+func TestOversizedBodyRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a >64MiB request body")
+	}
+	_, h := fuzzCoordinator(t)
+	body := bytes.Repeat([]byte("A"), maxRequestBody+1024)
+	rec := request(t, h, http.MethodPost, "/heartbeat", string(body))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized heartbeat: code %d, want 400", rec.Code)
+	}
+}
