@@ -445,6 +445,53 @@ func BenchmarkSimThroughputSampled(b *testing.B) {
 	}
 }
 
+// BenchmarkSimThroughputInterference reruns the perf-trajectory
+// configurations with per-request delay attribution on, so the
+// interference-accounting overhead can be read directly against
+// BenchmarkSimThroughput. Expected overhead: near-parity on light
+// workloads, ~1.15-1.3x under heavy contention — the per-cycle policy
+// attribution does O(ready requests) work per cycle, so its cost
+// scales with how many requests sit issuable-but-skipped each cycle
+// (see the protocol comment in internal/memctrl/interference.go).
+func BenchmarkSimThroughputInterference(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		benches []string
+	}{
+		{"light-4xcrafty", []string{"crafty", "crafty", "crafty", "crafty"}},
+		{"mixed", trace.FourCoreWorkloads()[0]},
+		{"heavy-4xart", []string{"art", "art", "art", "art"}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			profiles := make([]trace.Profile, len(v.benches))
+			for i, n := range v.benches {
+				profiles[i], _ = trace.ByName(n)
+			}
+			s, err := sim.New(sim.Config{
+				Workload:     profiles,
+				Policy:       sim.FQVFTF,
+				Interference: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step(10_000)
+			}
+			elapsed := b.Elapsed().Seconds()
+			if elapsed == 0 {
+				elapsed = 1e-9
+			}
+			b.ReportMetric(float64(s.Cycle())/elapsed/1e6, "Msimcycles/s")
+			if snap, ok := s.Controller().InterferenceSnapshot(false); ok {
+				b.ReportMetric(float64(snap.Cross)/float64(s.Cycle()), "cross-cycles/cycle")
+			}
+		})
+	}
+}
+
 func itoa(x int64) string {
 	if x == 0 {
 		return "0"

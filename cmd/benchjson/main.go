@@ -35,7 +35,11 @@
 // each configuration is additionally run with epoch sampling at the
 // default interval (registry snapshots plus the fairness monitor on
 // every boundary), and the report includes the sampling overhead
-// ratio (same <5% budget).
+// ratio (same <5% budget). With -interference each configuration is
+// additionally run with per-request delay attribution on, and the
+// report includes the attribution overhead ratio (expect near-parity
+// on light workloads and ~1.15-1.3x under heavy contention: policy
+// attribution does O(ready requests) work per cycle).
 package main
 
 import (
@@ -70,6 +74,7 @@ type run struct {
 	Strict          bool     `json:"strict"`
 	Metrics         bool     `json:"metrics,omitempty"`
 	Sampled         bool     `json:"sampled,omitempty"`
+	Interference    bool     `json:"interference,omitempty"`
 	SimulatedCycles int64    `json:"simulated_cycles"`
 	RequestsDone    int64    `json:"requests_done"`
 	WallSeconds     float64  `json:"wall_seconds"`
@@ -93,6 +98,7 @@ type report struct {
 	Speedups        []ratio `json:"speedups,omitempty"`
 	Overheads       []ratio `json:"metrics_overheads,omitempty"`
 	SampleOverheads []ratio `json:"sample_overheads,omitempty"`
+	IntfOverheads   []ratio `json:"interference_overheads,omitempty"`
 	ParSpeedups     []ratio `json:"parallel_speedups,omitempty"`
 }
 
@@ -122,6 +128,7 @@ type measureOpts struct {
 	strict       bool
 	instrumented bool
 	sampled      bool
+	interference bool
 }
 
 // measureBest runs measure repeat times and keeps the fastest run:
@@ -173,6 +180,7 @@ func measure(benches []string, warmup, cycles int64, seed uint64, o measureOpts)
 	if o.sampled {
 		cfg.SampleInterval = metrics.DefaultSampleInterval
 	}
+	cfg.Interference = o.interference
 	s, err := sim.New(cfg)
 	if err != nil {
 		return run{}, err
@@ -213,6 +221,7 @@ func measure(benches []string, warmup, cycles int64, seed uint64, o measureOpts)
 		Strict:          o.strict,
 		Metrics:         o.instrumented,
 		Sampled:         o.sampled,
+		Interference:    o.interference,
 		SimulatedCycles: cycles,
 		RequestsDone:    reqs,
 		WallSeconds:     elapsed,
@@ -295,6 +304,7 @@ func main() {
 		strict   = flag.Bool("strict", false, "also measure the per-cycle oracle and report speedups")
 		withMet  = flag.Bool("metrics", false, "also measure with metrics+trace enabled and report overheads")
 		withSamp = flag.Bool("sample", false, "also measure with epoch sampling enabled and report overheads")
+		withIntf = flag.Bool("interference", false, "also measure with delay attribution enabled and report overheads")
 		repeat   = flag.Int("repeat", 1, "measure each configuration this many times and keep the fastest (noise floor for the gate)")
 		checkOpt = flag.String("check", "", "compare against this baseline report; exit 1 on any regression beyond -tol")
 		tol      = flag.Float64("tol", 0.05, "relative throughput regression tolerance for -check")
@@ -353,7 +363,7 @@ func main() {
 		// The strict/metrics/sampling comparison runs stay on the default
 		// channel configuration, preserving the recorded trajectory's
 		// original shape.
-		if *strict || *withMet || *withSamp {
+		if *strict || *withMet || *withSamp || *withIntf {
 			fast, err := measureBest(benches, *warmup, *cycles, *seed, *repeat, measureOpts{})
 			if err != nil {
 				fail(err)
@@ -394,6 +404,18 @@ func main() {
 				rep.SampleOverheads = append(rep.SampleOverheads, ratio{
 					Name:    c.name,
 					Speedup: fast.MSimCyclesPerS / samp.MSimCyclesPerS,
+				})
+			}
+			if *withIntf {
+				intf, err := measureBest(benches, *warmup, *cycles, *seed, *repeat, measureOpts{interference: true})
+				if err != nil {
+					fail(err)
+				}
+				intf.Name = c.name + "-interference"
+				rep.Runs = append(rep.Runs, intf)
+				rep.IntfOverheads = append(rep.IntfOverheads, ratio{
+					Name:    c.name,
+					Speedup: fast.MSimCyclesPerS / intf.MSimCyclesPerS,
 				})
 			}
 		}

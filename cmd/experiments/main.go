@@ -104,6 +104,7 @@ func main() {
 		arenaMix  = flag.String("arena-mixes", "", "arena workload mixes, e.g. \"vpr+art,swim+mcf+vpr+art\" (empty = default)")
 		arenaShr  = flag.String("arena-shares", "", "arena thread-0 share splits, e.g. \"eq,3-4\" (empty = default)")
 		arenaCh   = flag.String("arena-channels", "", "arena channel counts, e.g. \"1,2\" (empty = default)")
+		intfOn    = flag.Bool("interference", false, "run every simulation with delay attribution on (adds .interference.json artifacts and the arena interference_index column; results stay bit-identical)")
 		workerURL = flag.String("worker", "", "run as a sweep-fabric worker against this coordinator URL")
 		workerDir = flag.String("worker-dir", "", "worker scratch directory (empty = a fresh temp dir)")
 		workerPol = flag.Duration("worker-poll", 100*time.Millisecond, "worker idle re-lease interval")
@@ -126,7 +127,7 @@ func main() {
 	}
 
 	cfg := exp.Config{Warmup: *warmup, Window: *window, Seed: *seed, Parallel: *par,
-		Workers: *workers, IntraWorkers: *intra}
+		Workers: *workers, IntraWorkers: *intra, Interference: *intfOn}
 	cfg.SampleInterval = *sampleInt
 	if cfg.SampleInterval == 0 && *seriesDir != "" {
 		cfg.SampleInterval = metrics.DefaultSampleInterval

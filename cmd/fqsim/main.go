@@ -6,7 +6,7 @@
 //
 //	fqsim -workload art,vpr -policy FQ-VFTF [-shares 3/4,1/4]
 //	      [-warmup N] [-window N] [-scale K] [-seed N] [-workers N] [-list]
-//	      [-trace out.json] [-metrics-out out.json]
+//	      [-interference] [-trace out.json] [-metrics-out out.json]
 //	      [-sample-interval N] [-series-out out.json]
 //	      [-serve addr] [-serve-for dur]
 //	      [-checkpoint file] [-checkpoint-every N] [-restore file]
@@ -60,6 +60,7 @@ func main() {
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 		asJSON    = flag.Bool("json", false, "emit results as JSON")
 		auditOn   = flag.Bool("audit", false, "run the invariant auditor (panic on any violation)")
+		intfOn    = flag.Bool("interference", false, "attribute every wait cycle to a cause and aggressor thread (observation-only; adds the /interference endpoint under -serve)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event timeline to this file")
 		metaOut   = flag.String("metrics", "", "alias of -metrics-out (kept for compatibility)")
 		metaOut2  = flag.String("metrics-out", "", "write a JSON metrics dump to this file")
@@ -118,7 +119,7 @@ func main() {
 	}
 
 	cfg := sim.Config{Workload: profiles, Policy: factory, Seed: *seed, Audit: *auditOn,
-		Workers: *workers}
+		Interference: *intfOn, Workers: *workers}
 	if *scale != 1 {
 		cfg.Mem.DRAM = dram.DefaultConfig()
 		cfg.Mem.DRAM.Timing = dram.DDR2800().Scale(*scale)
@@ -189,11 +190,12 @@ func main() {
 			trig = telemetry.NewCheckpointTrigger()
 		}
 		srv, err = telemetry.Start(telemetry.Config{
-			Addr:       *serveAddr,
-			Sampler:    s.Sampler(),
-			Fairness:   s.Fairness(),
-			Progress:   prog,
-			Checkpoint: trig,
+			Addr:         *serveAddr,
+			Sampler:      s.Sampler(),
+			Fairness:     s.Fairness(),
+			Interference: s.Controller(),
+			Progress:     prog,
+			Checkpoint:   trig,
 		})
 		if err != nil {
 			fail(err)
@@ -297,6 +299,22 @@ func main() {
 		}
 		fmt.Printf("aggregate: data bus utilization %.3f, bank utilization %.3f\n",
 			res.DataBusUtil, res.BankUtil)
+		if isnap, ok := s.Interference(); ok && isnap.Total > 0 {
+			fmt.Printf("interference: %d attributed wait cycles, %.1f%% charged cross-thread\n",
+				isnap.Total, 100*float64(isnap.Cross)/float64(isnap.Total))
+			for v, row := range isnap.Matrix {
+				top, cycles := -1, int64(0)
+				for a := 0; a < isnap.Threads; a++ {
+					if a != v && row[a] > cycles {
+						top, cycles = a, row[a]
+					}
+				}
+				if top >= 0 {
+					fmt.Printf("  thread %d (%s): top aggressor thread %d (%s), %d cycles\n",
+						v, res.Threads[v].Benchmark, top, res.Threads[top].Benchmark, cycles)
+				}
+			}
+		}
 	}
 
 	if srv != nil {

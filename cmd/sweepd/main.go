@@ -47,6 +47,7 @@ func main() {
 		window    = flag.Int64("window", 400_000, "measurement cycles per run")
 		seed      = flag.Uint64("seed", 0, "trace generator seed")
 		sampleInt = flag.Int64("sample-interval", 0, "epoch sampling interval in cycles (0 = no series artifacts)")
+		intfOn    = flag.Bool("interference", false, "run every chunk with delay attribution on (adds .interference.json artifacts and the arena interference_index column)")
 		ckptEvery = flag.Int64("checkpoint-every", 0, "chunk epoch: cycles between worker checkpoints/heartbeats (0 = default)")
 		expiry    = flag.Duration("lease-expiry", fabric.DefaultLeaseExpiry, "heartbeat deadline before a chunk is reassigned")
 		retries   = flag.Int("retries", fabric.DefaultRetryBudget, "lease grants per chunk before the job fails")
@@ -70,6 +71,7 @@ func main() {
 			Window:          *window,
 			Seed:            *seed,
 			SampleInterval:  *sampleInt,
+			Interference:    *intfOn,
 			CheckpointEvery: *ckptEvery,
 		},
 		LeaseExpiry: *expiry,

@@ -386,6 +386,19 @@ func (a *Auditor) stateFor(r *core.Request) core.BankState {
 // ---------------------------------------------------------------------
 
 // OnAccept validates and registers a newly accepted request.
+// OnAttributed enforces the interference-attribution conservation
+// invariant at the moment a request begins service (its CAS issues):
+// the delay-accounting layer must have charged every cycle between the
+// request's real arrival and now to some cause — no more, no fewer.
+// Anything else means the attribution matrix double-counts or leaks
+// wait cycles.
+func (a *Auditor) OnAttributed(r *core.Request, cycles, now int64) {
+	if want := now - r.ArrivalReal; cycles != want {
+		a.fail(now, "request %d (thread %d) attributed %d wait cycles, queued %d (arrival %d, service %d)",
+			r.ID, r.Thread, cycles, want, r.ArrivalReal, now)
+	}
+}
+
 func (a *Auditor) OnAccept(r *core.Request, now int64) {
 	if r.ID != a.lastID+1 {
 		a.fail(now, "request ID %d not monotone (previous %d)", r.ID, a.lastID)

@@ -97,6 +97,12 @@ type bank struct {
 	// Per-bank command counts for the observability layer (metrics
 	// registry snapshots read them; the simulation never does).
 	activates, precharges, reads, writes int64
+
+	// Occupant identity: the thread whose command set each timestamp
+	// (-1 before any command, and for commands issued on no thread's
+	// behalf). BlockingCause reads these to name the aggressor behind a
+	// binding timing constraint; the simulation never does.
+	actThread, readThread, writeThread, preThread int
 }
 
 // Channel is a cycle-accurate model of a single DDR2 channel: all banks,
@@ -117,6 +123,13 @@ type Channel struct {
 	dataBusBusy    int64 // total data-bus busy cycles
 	refreshUntil   int64 // banks unavailable until this cycle after REF
 	refreshedCount int64
+
+	// Occupant identity mirroring the channel-global timestamps (-1
+	// before any command). See bank's occupant fields.
+	lastCASThread       int
+	lastWriteDataThread int
+	dataBusThread       int
+	rankLastActThread   []int
 }
 
 // NewChannel returns a channel with all banks precharged.
@@ -125,9 +138,10 @@ func NewChannel(cfg Config) (*Channel, error) {
 		return nil, err
 	}
 	ch := &Channel{
-		cfg:              cfg,
-		banks:            make([]bank, cfg.Banks()),
-		rankLastActivate: make([]int64, cfg.Ranks),
+		cfg:               cfg,
+		banks:             make([]bank, cfg.Banks()),
+		rankLastActivate:  make([]int64, cfg.Ranks),
+		rankLastActThread: make([]int, cfg.Ranks),
 	}
 	for i := range ch.banks {
 		b := &ch.banks[i]
@@ -136,14 +150,19 @@ func NewChannel(cfg Config) (*Channel, error) {
 		b.lastWrite = minTime
 		b.lastPrecharge = minTime
 		b.writeDataEnd = minTime
+		b.actThread, b.readThread, b.writeThread, b.preThread = -1, -1, -1, -1
 	}
 	for i := range ch.rankLastActivate {
 		ch.rankLastActivate[i] = minTime
+		ch.rankLastActThread[i] = -1
 	}
 	ch.lastCAS = minTime
 	ch.lastWriteData = minTime
 	ch.dataBusFreeAt = minTime
 	ch.refreshUntil = minTime
+	ch.lastCASThread = -1
+	ch.lastWriteDataThread = -1
+	ch.dataBusThread = -1
 	return ch, nil
 }
 
@@ -228,12 +247,99 @@ func (ch *Channel) Ready(kind Kind, bankIdx int, now int64) bool {
 	return ch.EarliestIssue(kind, bankIdx) <= now
 }
 
+// BlockCause classifies which resource a binding DDR2 constraint is
+// guarding: the bank itself, the shared data bus, a channel-global CAS
+// constraint, rank-level activate spacing, or a refresh window.
+type BlockCause uint8
+
+const (
+	BlockNone BlockCause = iota
+	BlockRefresh
+	BlockBank
+	BlockBus
+	BlockChan
+	BlockRank
+)
+
+func (c BlockCause) String() string {
+	switch c {
+	case BlockRefresh:
+		return "refresh"
+	case BlockBank:
+		return "bank"
+	case BlockBus:
+		return "bus"
+	case BlockChan:
+		return "chan"
+	case BlockRank:
+		return "rank"
+	}
+	return "none"
+}
+
+// BlockingCause recomputes EarliestIssue term by term and reports the
+// binding constraint: the first cycle the command may issue, the
+// resource class guarding it, and the thread whose earlier command set
+// it (-1 when no thread is responsible — refresh, rank/chan spacing, or
+// a timestamp predating any attributed command). Ties resolve in
+// precedence order refresh > bank > bus > chan > rank, so attribution
+// is deterministic. Observation-only: the scheduler never calls it.
+func (ch *Channel) BlockingCause(kind Kind, bankIdx int) (until int64, cause BlockCause, thread int) {
+	t := &ch.cfg.Timing
+	b := &ch.banks[bankIdx]
+	until, cause, thread = ch.refreshUntil, BlockRefresh, -1
+	// bind replaces the current answer only on a strictly later term, so
+	// among equal maxima the earliest call (highest precedence) wins.
+	bind := func(e int64, c BlockCause, th int) {
+		if e > until {
+			until, cause, thread = e, c, th
+		}
+	}
+	switch kind {
+	case KindActivate:
+		bind(b.lastPrecharge+int64(t.TRP), BlockBank, b.preThread)
+		bind(b.lastActivate+int64(t.TRC), BlockBank, b.actThread)
+		rank := ch.rankOf(bankIdx)
+		bind(ch.rankLastActivate[rank]+int64(t.TRRD), BlockRank, ch.rankLastActThread[rank])
+	case KindRead:
+		bind(b.lastActivate+int64(t.TRCD), BlockBank, b.actThread)
+		bind(ch.dataBusFreeAt-int64(t.TCL), BlockBus, ch.dataBusThread)
+		bind(ch.lastCAS+int64(t.TCCD), BlockChan, ch.lastCASThread)
+		bind(ch.lastWriteData+int64(t.TWTR), BlockChan, ch.lastWriteDataThread)
+	case KindWrite:
+		bind(b.lastActivate+int64(t.TRCD), BlockBank, b.actThread)
+		bind(ch.dataBusFreeAt-int64(t.TWL), BlockBus, ch.dataBusThread)
+		bind(ch.lastCAS+int64(t.TCCD), BlockChan, ch.lastCASThread)
+	case KindPrecharge:
+		bind(b.lastActivate+int64(t.TRAS), BlockBank, b.actThread)
+		bind(b.lastRead+int64(t.TRTP), BlockBank, b.readThread)
+		bind(b.writeDataEnd+int64(t.TWR), BlockBank, b.writeThread)
+	default:
+		panic(fmt.Sprintf("dram: BlockingCause of %v", kind))
+	}
+	if until == ch.refreshUntil && cause == BlockRefresh && ch.refreshUntil == minTime {
+		// Nothing constrains the command: it was ready from minus
+		// infinity.
+		return minTime, BlockNone, -1
+	}
+	return until, cause, thread
+}
+
 // Issue applies the command to the device state at cycle now. It panics
 // if the command violates a timing constraint or the bank state (these
 // indicate controller bugs, not recoverable conditions). For reads it
 // returns the cycle at which the data burst completes (the load-to-use
 // response time at the controller); for other commands it returns 0.
 func (ch *Channel) Issue(kind Kind, bankIdx, row int, now int64) int64 {
+	return ch.IssueFrom(kind, bankIdx, row, now, -1)
+}
+
+// IssueFrom is Issue with the issuing thread attached: occupant-identity
+// fields record who set each timestamp so BlockingCause can name the
+// aggressor behind a later wait. thread < 0 means "no thread" (the
+// controller's idle-close precharges inherit the thread whose activate
+// opened the row — it is that thread's occupancy being drained).
+func (ch *Channel) IssueFrom(kind Kind, bankIdx, row int, now int64, thread int) int64 {
 	if e := ch.EarliestIssue(kind, bankIdx); e > now {
 		panic(fmt.Sprintf("dram: %v bank %d issued at %d, earliest legal %d", kind, bankIdx, now, e))
 	}
@@ -248,16 +354,22 @@ func (ch *Channel) Issue(kind Kind, bankIdx, row int, now int64) int64 {
 		b.row = row
 		b.lastActivate = now
 		b.activates++
-		ch.rankLastActivate[ch.rankOf(bankIdx)] = now
+		b.actThread = thread
+		rank := ch.rankOf(bankIdx)
+		ch.rankLastActivate[rank] = now
+		ch.rankLastActThread[rank] = thread
 	case KindRead:
 		if !b.open || b.row != row {
 			panic(fmt.Sprintf("dram: read bank %d row %d, open=%v row=%d", bankIdx, row, b.open, b.row))
 		}
 		b.lastRead = now
 		b.reads++
+		b.readThread = thread
 		ch.lastCAS = now
+		ch.lastCASThread = thread
 		end := now + int64(t.TCL) + int64(t.BL2)
 		ch.dataBusFreeAt = end
+		ch.dataBusThread = thread
 		ch.dataBusBusy += int64(t.BL2)
 		return end
 	case KindWrite:
@@ -266,20 +378,28 @@ func (ch *Channel) Issue(kind Kind, bankIdx, row int, now int64) int64 {
 		}
 		b.lastWrite = now
 		b.writes++
+		b.writeThread = thread
 		ch.lastCAS = now
+		ch.lastCASThread = thread
 		end := now + int64(t.TWL) + int64(t.BL2)
 		b.writeDataEnd = end
 		ch.lastWriteData = end
+		ch.lastWriteDataThread = thread
 		ch.dataBusFreeAt = end
+		ch.dataBusThread = thread
 		ch.dataBusBusy += int64(t.BL2)
 		return end
 	case KindPrecharge:
 		if !b.open {
 			panic(fmt.Sprintf("dram: precharge closed bank %d", bankIdx))
 		}
+		if thread < 0 {
+			thread = b.actThread
+		}
 		b.open = false
 		b.lastPrecharge = now
 		b.precharges++
+		b.preThread = thread
 		// The bank was busy from its activate until the precharge
 		// completes tRP cycles from now.
 		b.busyCycles += now + int64(t.TRP) - b.lastActivate

@@ -23,14 +23,24 @@ func (c *Channel) SaveState(w *snapshot.Writer) {
 		w.I64(b.precharges)
 		w.I64(b.reads)
 		w.I64(b.writes)
+		w.Int(b.actThread)
+		w.Int(b.readThread)
+		w.Int(b.writeThread)
+		w.Int(b.preThread)
 	}
 	w.I64s(c.rankLastActivate)
+	for _, th := range c.rankLastActThread {
+		w.Int(th)
+	}
 	w.I64(c.lastCAS)
 	w.I64(c.lastWriteData)
 	w.I64(c.dataBusFreeAt)
 	w.I64(c.dataBusBusy)
 	w.I64(c.refreshUntil)
 	w.I64(c.refreshedCount)
+	w.Int(c.lastCASThread)
+	w.Int(c.lastWriteDataThread)
+	w.Int(c.dataBusThread)
 }
 
 // LoadState restores a channel saved by SaveState into a channel
@@ -59,14 +69,25 @@ func (c *Channel) LoadState(r *snapshot.Reader) error {
 		b.precharges = r.I64()
 		b.reads = r.I64()
 		b.writes = r.I64()
+		b.actThread = r.Int()
+		b.readThread = r.Int()
+		b.writeThread = r.Int()
+		b.preThread = r.Int()
 	}
 	rankLast := r.I64s(len(c.rankLastActivate))
+	rankLastTh := make([]int, len(c.rankLastActThread))
+	for i := range rankLastTh {
+		rankLastTh[i] = r.Int()
+	}
 	lastCAS := r.I64()
 	lastWriteData := r.I64()
 	dataBusFreeAt := r.I64()
 	dataBusBusy := r.I64()
 	refreshUntil := r.I64()
 	refreshedCount := r.I64()
+	lastCASThread := r.Int()
+	lastWriteDataThread := r.Int()
+	dataBusThread := r.Int()
 	if err := r.Err(); err != nil {
 		return err
 	}
@@ -76,11 +97,15 @@ func (c *Channel) LoadState(r *snapshot.Reader) error {
 	}
 	copy(c.banks, banks)
 	copy(c.rankLastActivate, rankLast)
+	copy(c.rankLastActThread, rankLastTh)
 	c.lastCAS = lastCAS
 	c.lastWriteData = lastWriteData
 	c.dataBusFreeAt = dataBusFreeAt
 	c.dataBusBusy = dataBusBusy
 	c.refreshUntil = refreshUntil
 	c.refreshedCount = refreshedCount
+	c.lastCASThread = lastCASThread
+	c.lastWriteDataThread = lastWriteDataThread
+	c.dataBusThread = dataBusThread
 	return nil
 }

@@ -80,6 +80,11 @@ type ArenaRow struct {
 	SumIPC  float64 `json:"sum_ipc"`
 	BusUtil float64 `json:"bus_util"`
 
+	// InterferenceIndex is the fraction of the cell's attributed wait
+	// cycles charged to a different thread (delay attribution's Cross /
+	// Total); 0 when the sweep ran without Config.Interference.
+	InterferenceIndex float64 `json:"interference_index"`
+
 	// Pareto marks the rows on the fairness-vs-throughput frontier of
 	// their (mix, share, channels) cell group: no other policy in the
 	// group is at least as good on both axes and better on one.
@@ -146,7 +151,11 @@ func (r *Runner) Arena(spec ArenaSpec) (ArenaResult, error) {
 		return ArenaResult{Spec: spec}, err
 	}
 	// Every unit is memoized now; the reduction just recalls them.
-	return ReduceArena(spec, r.RunUnit)
+	var intf InterferenceGetter
+	if r.cfg.Interference {
+		intf = r.UnitInterference
+	}
+	return ReduceArena(spec, r.RunUnit, intf)
 }
 
 // Render writes the arena as a text table, one frontier group per
@@ -185,13 +194,13 @@ func (a ArenaResult) WriteCSV(w io.Writer) error {
 		rows = append(rows, []string{
 			r.Workload, r.Share0, fmt.Sprint(r.Channels), r.Policy,
 			f(r.WeightedSpeedup), f(r.MaxSlowdown), f(r.FairnessIndex),
-			f(r.SumIPC), f(r.BusUtil), pareto,
+			f(r.SumIPC), f(r.BusUtil), f(r.InterferenceIndex), pareto,
 		})
 	}
 	return writeCSV(w, []string{
 		"workload", "share0", "channels", "policy",
 		"weighted_speedup", "max_slowdown", "fairness_index",
-		"sum_ipc", "bus_util", "pareto",
+		"sum_ipc", "bus_util", "interference_index", "pareto",
 	}, rows)
 }
 

@@ -185,7 +185,7 @@ func TestArenaArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
-	if lines[0] != "workload,share0,channels,policy,weighted_speedup,max_slowdown,fairness_index,sum_ipc,bus_util,pareto" {
+	if lines[0] != "workload,share0,channels,policy,weighted_speedup,max_slowdown,fairness_index,sum_ipc,bus_util,interference_index,pareto" {
 		t.Errorf("csv header %q", lines[0])
 	}
 	if want := 1 + len(arenaPolicies); len(lines) != want {

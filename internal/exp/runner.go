@@ -54,6 +54,13 @@ type Config struct {
 	// FQMS_AUDIT environment variable also enables it globally.
 	Audit bool
 
+	// Interference runs every simulation with delay attribution on
+	// (sim.Config.Interference): results stay bit-identical, each run
+	// additionally leaves a <key>.interference.json artifact (in
+	// CheckpointDir when set, else SeriesDir), and arena rows carry an
+	// interference_index column.
+	Interference bool
+
 	// SampleInterval > 0 samples every run's metrics on epoch
 	// boundaries (cycles); results stay bit-identical. Required for
 	// SeriesDir.
@@ -122,6 +129,7 @@ type Runner struct {
 
 	mu        sync.Mutex
 	memo      map[string]sim.Result
+	intfMemo  map[string]InterferenceDoc
 	simCycles int64
 	limit     chan struct{}
 	// runWorkers is the run-level concurrency implied by the worker
@@ -175,6 +183,7 @@ func NewRunner(cfg Config) *Runner {
 	return &Runner{
 		cfg:        cfg,
 		memo:       make(map[string]sim.Result),
+		intfMemo:   make(map[string]InterferenceDoc),
 		limit:      make(chan struct{}, n),
 		runWorkers: n,
 	}
@@ -214,16 +223,25 @@ func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
 	}
 	r.mu.Unlock()
 
-	// A previous sweep may have finished this run already.
+	// A previous sweep may have finished this run already. With
+	// attribution on the recall also needs the interference artifact;
+	// a run whose result survived but whose matrix did not re-simulates.
 	if res, ok := r.loadResult(key); ok {
-		r.mu.Lock()
-		r.memo[key] = res
-		r.mu.Unlock()
-		return res, nil
+		doc, docOK := r.loadInterference(key)
+		if !r.cfg.Interference || docOK {
+			r.mu.Lock()
+			r.memo[key] = res
+			if docOK {
+				r.intfMemo[key] = doc
+			}
+			r.mu.Unlock()
+			return res, nil
+		}
 	}
 
 	cfg.Seed = r.cfg.Seed
 	cfg.Audit = cfg.Audit || r.cfg.Audit
+	cfg.Interference = cfg.Interference || r.cfg.Interference
 	cfg.SampleInterval = r.cfg.SampleInterval
 	cfg.Workers = r.cfg.IntraWorkers
 	sys, res, stepped, err := r.runSim(key, cfg)
@@ -236,6 +254,15 @@ func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
 			return sim.Result{}, fmt.Errorf("exp: series %s: %w", key, err)
 		}
 	}
+	var doc InterferenceDoc
+	var hasDoc bool
+	if snap, ok := sys.Interference(); ok {
+		doc = InterferenceDoc{Key: key, Policy: sys.Controller().Policy().Name(), Interference: snap}
+		hasDoc = true
+		if err := r.saveInterference(key, doc); err != nil {
+			return sim.Result{}, fmt.Errorf("exp: interference %s: %w", key, err)
+		}
+	}
 	if err := r.saveResult(key, res); err != nil {
 		return sim.Result{}, fmt.Errorf("exp: persist %s: %w", key, err)
 	}
@@ -244,6 +271,9 @@ func (r *Runner) run(key string, cfg sim.Config) (sim.Result, error) {
 	}
 	r.mu.Lock()
 	r.memo[key] = res
+	if hasDoc {
+		r.intfMemo[key] = doc
+	}
 	r.simCycles += stepped
 	r.mu.Unlock()
 	return res, nil

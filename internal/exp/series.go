@@ -98,11 +98,13 @@ func writeSeries(dir, key string, s *sim.System) error {
 				strconv.Itoa(t), strconv.FormatInt(fs.Service[t], 10),
 				f(fs.Share[t]), f(fs.Phi[t]), f(fs.Excess[t]),
 				strconv.FormatBool(fs.Backlogged[t]), f(fs.CumShortfall[t]),
+				strconv.Itoa(fs.TopAggressor[t]), strconv.FormatInt(fs.StolenCycles[t], 10),
 			})
 		}
 	}
 	err = writeCSV(cf, []string{
 		"policy", "epoch", "cycle", "thread", "service", "share", "phi", "excess", "backlogged", "cum_shortfall",
+		"top_aggressor", "stolen_cycles",
 	}, rows)
 	if cerr := cf.Close(); err == nil {
 		err = cerr

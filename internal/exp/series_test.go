@@ -62,7 +62,7 @@ func TestSeriesExport(t *testing.T) {
 		t.Fatalf("fairness csv missing: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(csvRaw)), "\n")
-	if lines[0] != "policy,epoch,cycle,thread,service,share,phi,excess,backlogged,cum_shortfall" {
+	if lines[0] != "policy,epoch,cycle,thread,service,share,phi,excess,backlogged,cum_shortfall,top_aggressor,stolen_cycles" {
 		t.Errorf("fairness csv header %q", lines[0])
 	}
 	if want := 1 + wantEpochs*2; len(lines) != want {

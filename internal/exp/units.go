@@ -164,8 +164,11 @@ func (r *Runner) RunUnit(u Unit) (sim.Result, error) {
 // single-process sweep computes. get resolves a unit to its Result
 // (from the runner's memo, or from artifacts a fabric merge collected);
 // the reduction's float arithmetic visits threads in mix order exactly
-// like the monolithic sweep, so equal inputs give bit-equal rows.
-func ReduceArena(spec ArenaSpec, get func(Unit) (sim.Result, error)) (ArenaResult, error) {
+// like the monolithic sweep, so equal inputs give bit-equal rows. intf
+// (nil when attribution is off) resolves a cell's interference counts;
+// the index is a single division, so serial and merged floats agree
+// bit for bit.
+func ReduceArena(spec ArenaSpec, get func(Unit) (sim.Result, error), intf InterferenceGetter) (ArenaResult, error) {
 	out := ArenaResult{Spec: spec}
 	var rows []ArenaRow
 	for _, mix := range spec.Mixes {
@@ -206,6 +209,10 @@ func ReduceArena(spec ArenaSpec, get func(Unit) (sim.Result, error)) (ArenaResul
 					}
 					row.MaxSlowdown = maxSd
 					row.FairnessIndex = minSd / maxSd
+					if intf != nil {
+						cross, total, ok := intf(ArenaCellUnit(mix, pol, s0, ch))
+						row.InterferenceIndex = interferenceIndex(cross, total, ok)
+					}
 					rows = append(rows, row)
 				}
 			}

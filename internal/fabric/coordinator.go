@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -109,6 +110,7 @@ type Coordinator struct {
 	leases   map[string]int // live lease token -> chunk index
 	leaseSeq int
 	done     int
+	expired  int64 // leases lost to heartbeat timeouts, ever
 	failed   error
 }
 
@@ -215,6 +217,7 @@ func (c *Coordinator) expireLocked() {
 		ch.lease = ""
 		ch.worker = ""
 		ch.state = chunkPending
+		c.expired++
 		if ch.attempts >= c.cfg.RetryBudget && c.failed == nil {
 			c.failed = fmt.Errorf("fabric: chunk %d (%s) exhausted its retry budget (%d leases)",
 				i, ch.unit.Key, ch.attempts)
@@ -256,7 +259,8 @@ func (c *Coordinator) Handler() http.Handler {
 			"/complete     POST {lease,cycle,result,series,fairness}: finish a chunk\n"+
 			"/blob/<hash>  GET: fetch a stored blob (e.g. a resume checkpoint)\n"+
 			"/progress     GET: aggregated sweep progress\n"+
-			"/status       GET: per-chunk queue state\n")
+			"/status       GET: per-chunk queue state\n"+
+			"/metrics      GET: coordinator queue gauges, Prometheus text\n")
 	})
 	mux.HandleFunc("/job", c.handleJob)
 	mux.HandleFunc("/lease", c.handleLease)
@@ -265,6 +269,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/blob/", c.handleBlob)
 	mux.HandleFunc("/progress", c.handleProgress)
 	mux.HandleFunc("/status", c.handleStatus)
+	mux.HandleFunc("/metrics", c.handleMetrics)
 	return mux
 }
 
@@ -427,12 +432,22 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeStatus(w, http.StatusBadRequest, statusReply{Status: "error", Error: "sampled job completion missing series artifacts"})
 		return
 	}
+	if c.job.Interference {
+		var doc exp.InterferenceDoc
+		if err := json.Unmarshal(req.Interference, &doc); err != nil {
+			writeStatus(w, http.StatusBadRequest, statusReply{Status: "error", Error: "interference artifact is not an exp.InterferenceDoc: " + err.Error()})
+			return
+		}
+	}
 	ch.artifacts["result"] = c.store.Put(req.Result)
 	if len(req.Series) > 0 {
 		ch.artifacts["series"] = c.store.Put(req.Series)
 	}
 	if len(req.Fairness) > 0 {
 		ch.artifacts["fairness"] = c.store.Put(req.Fairness)
+	}
+	if len(req.Interference) > 0 {
+		ch.artifacts["interference"] = c.store.Put(req.Interference)
 	}
 	delete(c.leases, req.Lease)
 	ch.lease = ""
@@ -463,6 +478,60 @@ func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeStatus(w, http.StatusOK, c.Status())
+}
+
+// handleMetrics exposes the coordinator's own health as a Prometheus
+// scrape — the queue by state, worker liveness, retry-budget
+// consumption, and the artifact store — through the same exposition
+// writer the simulation status server uses.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.expireLocked()
+	snap := metrics.Snapshot{
+		Counters: map[string]int64{
+			"sweepd.leases.granted": int64(c.leaseSeq),
+			"sweepd.leases.expired": c.expired,
+		},
+		Gauges: map[string]int64{
+			"sweepd.chunks.total":   int64(len(c.chunks)),
+			"sweepd.retry.budget":   int64(c.cfg.RetryBudget),
+			"sweepd.workers.active": 0,
+			"sweepd.job.failed":     0,
+		},
+	}
+	workers := make(map[string]bool)
+	var pending, leased, done, attempts, maxAttempts int64
+	for _, ch := range c.chunks {
+		switch ch.state {
+		case chunkPending:
+			pending++
+		case chunkLeased:
+			leased++
+			workers[ch.worker] = true
+		case chunkDone:
+			done++
+		}
+		attempts += int64(ch.attempts)
+		if int64(ch.attempts) > maxAttempts {
+			maxAttempts = int64(ch.attempts)
+		}
+	}
+	snap.Gauges["sweepd.chunks.pending"] = pending
+	snap.Gauges["sweepd.chunks.leased"] = leased
+	snap.Gauges["sweepd.chunks.done"] = done
+	snap.Gauges["sweepd.workers.active"] = int64(len(workers))
+	snap.Gauges["sweepd.attempts.max"] = maxAttempts
+	snap.Counters["sweepd.attempts"] = attempts
+	if c.failed != nil {
+		snap.Gauges["sweepd.job.failed"] = 1
+	}
+	blobs, bytes, dedup := c.store.Stats()
+	snap.Gauges["sweepd.store.blobs"] = int64(blobs)
+	snap.Gauges["sweepd.store.bytes"] = bytes
+	snap.Counters["sweepd.store.dedup"] = dedup
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = telemetry.WritePrometheus(w, snap)
 }
 
 // Status snapshots the queue.
@@ -527,13 +596,47 @@ func (c *Coordinator) Arena() (exp.ArenaResult, error) {
 	if err != nil {
 		return exp.ArenaResult{}, err
 	}
+	var intf exp.InterferenceGetter
+	if c.job.Interference {
+		docs, err := c.interferenceDocs()
+		if err != nil {
+			return exp.ArenaResult{}, err
+		}
+		intf = func(u exp.Unit) (int64, int64, bool) {
+			doc, ok := docs[u.Key]
+			if !ok {
+				return 0, 0, false
+			}
+			return doc.Interference.Cross, doc.Interference.Total, true
+		}
+	}
 	return exp.ReduceArena(c.job.Spec, func(u exp.Unit) (sim.Result, error) {
 		res, ok := results[u.Key]
 		if !ok {
 			return sim.Result{}, fmt.Errorf("fabric: no result for unit %s", u.Key)
 		}
 		return res, nil
-	})
+	}, intf)
+}
+
+// interferenceDocs rebuilds the per-unit attribution snapshots from
+// uploaded artifacts, the merged reduction's InterferenceGetter source.
+func (c *Coordinator) interferenceDocs() (map[string]exp.InterferenceDoc, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]exp.InterferenceDoc, len(c.chunks))
+	for _, ch := range c.chunks {
+		b, ok := c.store.Get(ch.artifacts["interference"])
+		if !ok {
+			return nil, fmt.Errorf("fabric: chunk %s lost its interference blob", ch.unit.Key)
+		}
+		var doc exp.InterferenceDoc
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return nil, fmt.Errorf("fabric: chunk %s interference: %w", ch.unit.Key, err)
+		}
+		out[ch.unit.Key] = doc
+	}
+	return out, nil
 }
 
 // WriteMerged materializes the completed job into dir: every chunk's
@@ -564,6 +667,9 @@ func (c *Coordinator) WriteMerged(dir string) error {
 		}
 		if h, ok := ch.artifacts["fairness"]; ok {
 			files = append(files, file{stem + ".fairness.csv", h})
+		}
+		if h, ok := ch.artifacts["interference"]; ok {
+			files = append(files, file{stem + ".interference.json", h})
 		}
 	}
 	c.mu.Unlock()
@@ -614,6 +720,9 @@ func (c *Coordinator) checkInvariants() error {
 			}
 			if ch.artifacts["result"] == "" {
 				return fmt.Errorf("chunk %d done without a result artifact", i)
+			}
+			if c.job.Interference && ch.artifacts["interference"] == "" {
+				return fmt.Errorf("chunk %d done without an interference artifact", i)
 			}
 		case chunkLeased:
 			if ch.lease == "" {

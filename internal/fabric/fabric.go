@@ -48,6 +48,12 @@ type JobSpec struct {
 	// .fairness.csv time-series artifacts alongside its result.
 	SampleInterval int64 `json:"sample_interval"`
 
+	// Interference runs every chunk with delay attribution on: each
+	// chunk additionally uploads a .interference.json artifact and the
+	// merged arena carries an interference_index column. Simulated
+	// results are bit-identical either way.
+	Interference bool `json:"interference,omitempty"`
+
 	// CheckpointEvery is the chunk epoch in cycles: workers checkpoint,
 	// upload, and heartbeat every such interval (zero selects
 	// exp.DefaultCheckpointEvery). The lease expiry must comfortably
@@ -82,6 +88,7 @@ func (j JobSpec) ExpConfig(dir string) exp.Config {
 		Window:          j.Window,
 		Seed:            j.Seed,
 		SampleInterval:  j.SampleInterval,
+		Interference:    j.Interference,
 		CheckpointDir:   dir,
 		CheckpointEvery: j.CheckpointEvery,
 	}
@@ -139,11 +146,12 @@ type heartbeatRequest struct {
 
 // completeRequest delivers a finished chunk's artifacts.
 type completeRequest struct {
-	Lease    string `json:"lease"`
-	Cycle    int64  `json:"cycle"`
-	Result   []byte `json:"result"`
-	Series   []byte `json:"series,omitempty"`
-	Fairness []byte `json:"fairness,omitempty"`
+	Lease        string `json:"lease"`
+	Cycle        int64  `json:"cycle"`
+	Result       []byte `json:"result"`
+	Series       []byte `json:"series,omitempty"`
+	Fairness     []byte `json:"fairness,omitempty"`
+	Interference []byte `json:"interference,omitempty"`
 }
 
 // statusReply is the ack for heartbeats and completions.

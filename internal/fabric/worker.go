@@ -144,6 +144,11 @@ func (w *Worker) runChunk(ctx context.Context, job JobSpec, lease leaseResponse)
 			return fmt.Errorf("chunk finished without a fairness artifact: %w", err)
 		}
 	}
+	if job.Interference {
+		if req.Interference, err = read(stem + ".interference.json"); err != nil {
+			return fmt.Errorf("chunk finished without an interference artifact: %w", err)
+		}
+	}
 	var reply statusReply
 	code, err := w.postJSON(ctx, "/complete", req, &reply)
 	if code == http.StatusConflict {

@@ -64,6 +64,13 @@ type FairnessSample struct {
 	// CumShortfall is the running sum of backlogged shortfalls up to
 	// and including this epoch, in data-bus cycles.
 	CumShortfall []float64 `json:"cum_shortfall"`
+
+	// TopAggressor names the other thread charged the most of this
+	// thread's wait cycles during the epoch by the interference
+	// attribution layer, and StolenCycles that charge. -1/0 when no
+	// other thread was charged or attribution is off.
+	TopAggressor []int   `json:"top_aggressor"`
+	StolenCycles []int64 `json:"stolen_cycles"`
 }
 
 // FairnessSummary is the monitor's end-of-run digest.
@@ -102,6 +109,12 @@ type FairnessMonitor struct {
 	// epoch for Func gauges registered in a metrics registry.
 	lastExcess []int64
 
+	// prevMatrix/curMatrix are the previous epoch boundary's cumulative
+	// interference pair totals (threads x threads+1, flattened) and the
+	// differencing scratch; all zeros when attribution is off.
+	prevMatrix []int64
+	curMatrix  []int64
+
 	mu     sync.Mutex
 	ring   []FairnessSample
 	start  int
@@ -129,6 +142,8 @@ func NewFairnessMonitor(c *Controller, interval int64, capacity int) *FairnessMo
 		maxEpochShrt: make([]float64, n),
 		maxAbsExcess: make([]float64, n),
 		lastExcess:   make([]int64, n),
+		prevMatrix:   make([]int64, n*(n+1)),
+		curMatrix:    make([]int64, n*(n+1)),
 		ring:         make([]FairnessSample, 0, capacity),
 	}
 }
@@ -161,6 +176,12 @@ func (m *FairnessMonitor) Sample(now int64) {
 		Excess:       make([]float64, n),
 		Backlogged:   make([]bool, n),
 		CumShortfall: make([]float64, n),
+		TopAggressor: make([]int, n),
+		StolenCycles: make([]int64, n),
+	}
+	intf := m.ctrl.intf != nil
+	if intf {
+		m.ctrl.intf.pairTotals(m.curMatrix)
 	}
 	for t := 0; t < n; t++ {
 		svc := m.ctrl.Stats(t).DataBusCycles
@@ -170,6 +191,22 @@ func (m *FairnessMonitor) Sample(now int64) {
 		sm.Phi[t] = m.phi(t)
 		r, w := m.ctrl.Occupancy(t)
 		sm.Backlogged[t] = r+w > 0
+		sm.TopAggressor[t] = -1
+		if intf {
+			var best int64
+			for a := 0; a < n; a++ {
+				if a == t {
+					continue
+				}
+				if d := m.curMatrix[t*(n+1)+a] - m.prevMatrix[t*(n+1)+a]; d > best {
+					best, sm.TopAggressor[t] = d, a
+				}
+			}
+			sm.StolenCycles[t] = best
+		}
+	}
+	if intf {
+		copy(m.prevMatrix, m.curMatrix)
 	}
 	for m.nextAt <= now {
 		m.nextAt += m.interval

@@ -102,6 +102,14 @@ type Config struct {
 	// every SDRAM command and request lifetime. Like Metrics, it is
 	// purely observational.
 	Trace *metrics.TraceWriter
+
+	// Interference enables the per-request delay-attribution layer:
+	// every cycle a request waits is charged to an exclusive cause and
+	// aggressor thread, folding into a cycles[victim][aggressor] matrix
+	// (DESIGN §15). Observation-only: results are bit-identical with or
+	// without, and with Audit set the conservation invariant (attributed
+	// cycles == queueing delay) is enforced per request.
+	Interference bool
 }
 
 // DefaultConfig returns the paper's Table 5 controller configuration for
@@ -313,7 +321,11 @@ type Controller struct {
 	// scratch buffer.
 	met       *memMetrics
 	tw        *metrics.TraceWriter
-	traceVals [3]int64
+	traceVals [5]int64
+
+	// intf is the optional interference-attribution tracker (nil when
+	// off); see Config.Interference and interference.go.
+	intf *intfTracker
 }
 
 // Forever is the "no event scheduled" sentinel for wake times.
@@ -433,6 +445,9 @@ func New(cfg Config, policy core.Policy) (*Controller, error) {
 	if cfg.Trace != nil {
 		c.tw = cfg.Trace
 		c.initTrace()
+	}
+	if cfg.Interference {
+		c.intf = newIntfTracker(c, cfg.Metrics)
 	}
 	return c, nil
 }
@@ -649,6 +664,9 @@ func (c *Controller) Accept(thread int, lineAddr uint64, isWrite bool, now int64
 	if c.aud != nil {
 		c.aud.OnAccept(&c.arena[slot], now)
 	}
+	if c.intf != nil {
+		c.intf.onAccept(slot, now)
+	}
 	if c.met != nil {
 		if isWrite {
 			c.met.writeOcc[thread].Observe(int64(c.writeOcc[thread]))
@@ -761,7 +779,7 @@ func (c *Controller) TickBegin(now int64) bool {
 				c.aud.OnReadDone(r, f.doneAt, now)
 			}
 			if c.tw != nil {
-				c.traceLifetime("read", r.Thread, r.GlobalBank, r.Row, r.ArrivalReal, f.doneAt)
+				c.traceLifetime("read", f.slot, r.Thread, r.GlobalBank, r.Row, r.ArrivalReal, f.doneAt)
 			}
 			// Every completion hook has run; the slot can be recycled.
 			c.freeSlot(f.slot)
@@ -911,6 +929,9 @@ func (c *Controller) TickEnd(now int64) {
 		case decCmd:
 			c.issue(&d.cand, now)
 		}
+		if c.intf != nil {
+			c.intf.drain(c, chIdx, d, now)
+		}
 		d.kind = decNone
 	}
 	if c.eventDriven {
@@ -1042,7 +1063,11 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 		// EarliestIssue depends only on (kind, bank): memoize per kind
 		// across the request loop. -1 = not yet computed.
 		earlyMemo = [6]int64{-1, -1, -1, -1, -1, -1}
+		intfBase  int // tracker's ready-staging mark for this bank
 	)
+	if c.intf != nil {
+		intfBase = c.intf.readyBase(chIdx)
+	}
 	for _, slot := range slots {
 		r := &c.arena[slot]
 		var state core.BankState
@@ -1077,6 +1102,16 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 					(r.Arrival == bestReq.Arrival && r.ID < bestReq.ID))) {
 				bestSlot, bestReq, bestKind, bestKey = slot, r, kind, key
 			}
+			if c.intf != nil {
+				early := earlyMemo[kind]
+				if early < 0 {
+					early = ch.EarliestIssue(kind, lb)
+					earlyMemo[kind] = early
+				}
+				if early <= now {
+					c.intf.exam(ch, chIdx, slot, r.Thread, kind, lb, early, now)
+				}
+			}
 			continue
 		}
 		early := earlyMemo[kind]
@@ -1086,6 +1121,9 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 		}
 		if early < minEarly {
 			minEarly = early
+		}
+		if c.intf != nil && early <= now {
+			c.intf.exam(ch, chIdx, slot, r.Thread, kind, lb, early, now)
 		}
 		ready := early <= now
 		isCAS := kind == dram.KindRead || kind == dram.KindWrite
@@ -1128,6 +1166,11 @@ func (c *Controller) bankSchedule(chIdx, b int, now int64) (candidate, bool, int
 		minEarly = early
 		bestReady = early <= now
 		bestCAS = bestKind == dram.KindRead || bestKind == dram.KindWrite
+	}
+	if c.intf != nil {
+		// Ready requests not issued this cycle may be charged to the
+		// thread the bank scheduler is holding for (see drain).
+		c.intf.patchFallback(chIdx, intfBase, bestReq.Thread)
 	}
 	// A refresh is pending: finish closing the bank but start nothing
 	// new. Activates are only selected when the bank is closed, in which
@@ -1216,7 +1259,7 @@ func (c *Controller) issue(cand *candidate, now int64) {
 			}
 		}
 	}
-	dataEnd := ch.Issue(cand.kind, lb, r.Row, now)
+	dataEnd := ch.IssueFrom(cand.kind, lb, r.Row, now, r.Thread)
 	if c.tw != nil {
 		c.traceCmd(cand.kind, cand.bank, r.Thread, r.Row, now)
 	}
@@ -1224,6 +1267,9 @@ func (c *Controller) issue(cand *candidate, now int64) {
 	r.Issued++
 	writeDone := false
 	if cand.kind == dram.KindRead || cand.kind == dram.KindWrite {
+		if c.intf != nil {
+			c.intfServiceStart(cand.slot, now)
+		}
 		c.removePending(cand.bank, cand.slot)
 		st := &c.stats[r.Thread]
 		st.DataBusCycles += int64(c.cfg.DRAM.Timing.BL2)
@@ -1234,7 +1280,7 @@ func (c *Controller) issue(cand *candidate, now int64) {
 			c.writeOcc[r.Thread]--
 			c.writeOccTotal--
 			if c.tw != nil {
-				c.traceLifetime("write", r.Thread, cand.bank, r.Row, r.ArrivalReal, dataEnd)
+				c.traceLifetime("write", cand.slot, r.Thread, cand.bank, r.Row, r.ArrivalReal, dataEnd)
 			}
 			writeDone = true
 		}

@@ -145,6 +145,10 @@ func (c *Controller) cmdDuration(kind dram.Kind) int64 {
 var (
 	traceCmdKeys  = []string{"thread", "row"}
 	traceLifeKeys = []string{"bank", "row", "latency"}
+	// With interference attribution on, lifetime slices also carry the
+	// other thread charged the most of this request's wait and that
+	// charge (-1/0 when nothing was attributed to another thread).
+	traceLifeIntfKeys = []string{"bank", "row", "latency", "top_aggressor", "stolen_cycles"}
 )
 
 // traceCmd emits one SDRAM command event on the owning bank's row.
@@ -164,7 +168,9 @@ func (c *Controller) traceCmd(kind dram.Kind, flatBank, thread, row int, now int
 
 // traceLifetime emits one request-lifetime event on the owning thread's
 // row (tid 0 = reads, 1 = writes), spanning arrival to data burst end.
-func (c *Controller) traceLifetime(name string, thread, flatBank, row int, arrival, done int64) {
+// slot is the request's arena slot, used to pull its interference
+// attribution when the tracker is on.
+func (c *Controller) traceLifetime(name string, slot int32, thread, flatBank, row int, arrival, done int64) {
 	c.traceVals[0] = int64(flatBank)
 	c.traceVals[1] = int64(row)
 	c.traceVals[2] = done - arrival
@@ -172,6 +178,13 @@ func (c *Controller) traceLifetime(name string, thread, flatBank, row int, arriv
 	if name == "write" {
 		tid = 1
 	}
+	keys, vals := traceLifeKeys, c.traceVals[:3]
+	if c.intf != nil {
+		top, stolen := c.intf.topAggressor(slot, thread)
+		c.traceVals[3] = int64(top)
+		c.traceVals[4] = stolen
+		keys, vals = traceLifeIntfKeys, c.traceVals[:5]
+	}
 	c.tw.CompleteArgs(name, tracePidThread+thread, tid, arrival, done-arrival,
-		traceLifeKeys, c.traceVals[:3])
+		keys, vals)
 }

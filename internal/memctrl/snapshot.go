@@ -116,6 +116,10 @@ func (c *Controller) SaveState(w *snapshot.Writer) {
 	if c.aud != nil {
 		c.aud.SaveState(w)
 	}
+	w.Bool(c.intf != nil)
+	if c.intf != nil {
+		c.intf.saveState(w, c)
+	}
 }
 
 // LoadState restores a controller saved by SaveState into one
@@ -355,6 +359,20 @@ func (c *Controller) LoadState(r *snapshot.Reader) error {
 			return err
 		}
 	}
+	hasIntf := r.Bool()
+	if r.Err() == nil && hasIntf != (c.intf != nil) {
+		r.Fail("memctrl.Controller: snapshot interference flag %v, controller tracker %v", hasIntf, c.intf != nil)
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if c.intf != nil {
+		// The arena was rebuilt above in the serialization order the
+		// tracker's per-slot state was written in, so the walk matches.
+		if err := c.intf.loadState(r, c); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -370,6 +388,7 @@ func (m *FairnessMonitor) SaveState(w *snapshot.Writer) {
 	w.F64s(m.maxEpochShrt)
 	w.F64s(m.maxAbsExcess)
 	w.I64s(m.lastExcess)
+	w.I64s(m.prevMatrix)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	w.Int(cap(m.ring))
@@ -385,6 +404,8 @@ func (m *FairnessMonitor) SaveState(w *snapshot.Writer) {
 		w.F64s(sm.Excess)
 		w.Bools(sm.Backlogged)
 		w.F64s(sm.CumShortfall)
+		w.Ints(sm.TopAggressor)
+		w.I64s(sm.StolenCycles)
 	}
 	w.I64(m.epochs)
 }
@@ -402,13 +423,14 @@ func (m *FairnessMonitor) LoadState(r *snapshot.Reader) error {
 	maxEpochShrt := r.F64s(n)
 	maxAbsExcess := r.F64s(n)
 	lastExcess := r.I64s(n)
+	prevMatrix := r.I64s(n * (n + 1))
 	capacity := r.Int()
 	count := r.Len(snapshot.MaxSlice)
 	if r.Err() == nil && interval != m.interval {
 		r.Fail("memctrl.FairnessMonitor: interval %d, monitor has %d", interval, m.interval)
 	}
 	if r.Err() == nil && (len(prevService) != n || len(cumShort) != n || len(maxEpochShrt) != n ||
-		len(maxAbsExcess) != n || len(lastExcess) != n) {
+		len(maxAbsExcess) != n || len(lastExcess) != n || len(prevMatrix) != n*(n+1)) {
 		r.Fail("memctrl.FairnessMonitor: per-thread arrays do not match %d threads", n)
 	}
 	if r.Err() == nil && capacity != cap(m.ring) {
@@ -430,6 +452,8 @@ func (m *FairnessMonitor) LoadState(r *snapshot.Reader) error {
 		sm.Excess = r.F64s(n)
 		sm.Backlogged = r.Bools(n)
 		sm.CumShortfall = r.F64s(n)
+		sm.TopAggressor = r.Ints(n)
+		sm.StolenCycles = r.I64s(n)
 		if r.Err() != nil {
 			return r.Err()
 		}
@@ -445,6 +469,7 @@ func (m *FairnessMonitor) LoadState(r *snapshot.Reader) error {
 	copy(m.maxEpochShrt, maxEpochShrt)
 	copy(m.maxAbsExcess, maxAbsExcess)
 	copy(m.lastExcess, lastExcess)
+	copy(m.prevMatrix, prevMatrix)
 	m.mu.Lock()
 	m.ring = ring
 	m.start = 0

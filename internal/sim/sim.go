@@ -123,6 +123,17 @@ type Config struct {
 	// non-empty value) forces it globally.
 	Audit bool
 
+	// Interference enables the controller's per-request delay
+	// attribution: every cycle a request waits is charged to an
+	// exclusive cause and aggressor thread, exposed as a
+	// cycles[victim][aggressor] matrix (memctrl.InterferenceSnapshot,
+	// the /interference telemetry endpoint, and the per-run
+	// .interference.json artifact). Observation-only: results, series,
+	// and checkpoint-restored continuations are bit-identical with or
+	// without. The FQMS_INTERFERENCE environment variable (any
+	// non-empty value) forces it globally.
+	Interference bool
+
 	// Metrics, when non-nil, registers the whole stack's observability
 	// metrics with the registry: the controller's per-bank command mix
 	// and VTMS bookkeeping (see memctrl.Config.Metrics) plus per-thread
@@ -245,6 +256,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Audit {
 		c.Mem.Audit = true
+	}
+	if os.Getenv("FQMS_INTERFERENCE") != "" {
+		c.Interference = true
+	}
+	if c.Interference {
+		c.Mem.Interference = true
 	}
 	if c.SampleInterval > 0 && c.Metrics == nil {
 		c.Metrics = metrics.New()
@@ -443,6 +460,9 @@ func (s *System) takeSamples() {
 	if now >= s.sampler.NextSampleAt() {
 		s.sampler.Sample(now)
 	}
+	// Refresh the snapshot concurrent readers (the telemetry server's
+	// /interference endpoint) see; a no-op when attribution is off.
+	s.ctrl.PublishInterference()
 	s.epochNext = s.fair.NextSampleAt()
 	if next := s.sampler.NextSampleAt(); next < s.epochNext {
 		s.epochNext = next
@@ -732,6 +752,16 @@ func (s *System) BeginMeasurement() {
 	}
 	s.snap.dataBusBusy = s.ctrl.DataBusBusyCycles()
 	s.snap.bankBusy = s.ctrl.BankBusyCycles(s.cycle)
+	// The interference matrix windows the same way: attribution
+	// accumulated during warmup is excluded from Interference().
+	s.ctrl.MarkInterferenceBaseline()
+}
+
+// Interference returns the delay-attribution matrix accumulated since
+// BeginMeasurement (false when Config.Interference is off). Call on
+// the simulation goroutine, like Results.
+func (s *System) Interference() (memctrl.InterferenceSnapshot, bool) {
+	return s.ctrl.InterferenceSnapshot(true)
 }
 
 // ThreadResult is one thread's measured behavior over the window.

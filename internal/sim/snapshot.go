@@ -34,6 +34,7 @@ func (s *System) saveFingerprint(w *snapshot.Writer) {
 	w.U64(s.cfg.Seed)
 	w.Bool(s.cfg.Strict)
 	w.Bool(s.cfg.Audit)
+	w.Bool(s.cfg.Interference)
 	w.I64(s.cfg.SampleInterval)
 	w.Int(s.cfg.SampleCapacity)
 	w.Int(s.cfg.ReqTransit)
@@ -73,10 +74,10 @@ func (s *System) checkFingerprint(r *snapshot.Reader) error {
 	if r.Err() == nil && seed != s.cfg.Seed {
 		r.Fail("sim.Config: snapshot seed %d, config has %d", seed, s.cfg.Seed)
 	}
-	strict, auditOn := r.Bool(), r.Bool()
-	if r.Err() == nil && (strict != s.cfg.Strict || auditOn != s.cfg.Audit) {
-		r.Fail("sim.Config: snapshot strict=%v audit=%v, config has strict=%v audit=%v",
-			strict, auditOn, s.cfg.Strict, s.cfg.Audit)
+	strict, auditOn, intf := r.Bool(), r.Bool(), r.Bool()
+	if r.Err() == nil && (strict != s.cfg.Strict || auditOn != s.cfg.Audit || intf != s.cfg.Interference) {
+		r.Fail("sim.Config: snapshot strict=%v audit=%v interference=%v, config has strict=%v audit=%v interference=%v",
+			strict, auditOn, intf, s.cfg.Strict, s.cfg.Audit, s.cfg.Interference)
 	}
 	si, sc := r.I64(), r.Int()
 	if r.Err() == nil && (si != s.cfg.SampleInterval || sc != s.cfg.SampleCapacity) {

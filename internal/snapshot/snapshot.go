@@ -40,8 +40,11 @@ const Magic = "FQMSSNAP"
 //
 // History: v2 added the policy-name frame to the memctrl policy-state
 // block (guarding against cross-policy restores) and the audit layer's
-// interval-policy tracking state.
-const Version = 2
+// interval-policy tracking state. v3 added the DRAM occupant-identity
+// fields, the interference-attribution tracker state in memctrl, the
+// fairness monitor's per-epoch top-aggressor columns, and the
+// Interference bit in the configuration fingerprint.
+const Version = 3
 
 // MaxSlice is the default element cap for variable-length sections
 // whose natural bound is configuration-dependent but small (queues,

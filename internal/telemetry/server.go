@@ -29,6 +29,12 @@ type Config struct {
 	// Fairness feeds /fairness (per-thread service-share series).
 	Fairness *memctrl.FairnessMonitor
 
+	// Interference feeds /interference (the latest published
+	// who-delayed-whom attribution snapshot, JSON) and appends the
+	// fqms_interference_cycles_total family to /metrics. Nil, or a
+	// controller running without attribution, leaves the endpoint 404.
+	Interference *memctrl.Controller
+
 	// Progress feeds /progress and the fqms_progress_* gauges.
 	Progress *Progress
 
@@ -94,6 +100,7 @@ func newMux(cfg Config) *http.ServeMux {
 			"/metrics        Prometheus text exposition (latest epoch snapshot)\n"+
 			"/series         JSON per-epoch metric deltas (?since=<cycle>)\n"+
 			"/fairness       JSON per-thread service-share series (?since=<cycle>)\n"+
+			"/interference   JSON who-delayed-whom attribution matrix\n"+
 			"/progress       JSON sweep progress\n"+
 			"/checkpoint     POST: write a checkpoint at the next safe point\n"+
 			"/debug/pprof/   Go profiling\n")
@@ -108,9 +115,25 @@ func newMux(cfg Config) *http.ServeMux {
 		if err := WritePrometheus(w, snap); err != nil {
 			return
 		}
+		if cfg.Interference != nil {
+			if isnap, ok := cfg.Interference.PublishedInterference(); ok {
+				writeInterferenceCounters(w, isnap)
+			}
+		}
 		if cfg.Progress != nil {
 			writeProgressGauges(w, cfg.Progress.Snapshot())
 		}
+	})
+
+	mux.HandleFunc("/interference", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Interference == nil || !cfg.Interference.InterferenceEnabled() {
+			http.Error(w, "interference attribution not enabled", http.StatusNotFound)
+			return
+		}
+		// Before the first epoch boundary the published snapshot is the
+		// zero value: a valid, empty matrix.
+		snap, _ := cfg.Interference.PublishedInterference()
+		writeJSON(w, snap)
 	})
 
 	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
@@ -168,6 +191,30 @@ func sinceParam(r *http.Request) int64 {
 		return -1
 	}
 	return n
+}
+
+// writeInterferenceCounters appends the who-delayed-whom matrix to a
+// Prometheus exposition as one labelled counter family. Only non-zero
+// cells are emitted (the matrix is quadratic in threads and mostly
+// sparse); the aggressor label "none" is the no-aggressor bucket.
+func writeInterferenceCounters(w http.ResponseWriter, s memctrl.InterferenceSnapshot) {
+	const pn = MetricPrefix + "interference_cycles"
+	fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+	for v, row := range s.Cube {
+		for a, cells := range row {
+			aggr := "none"
+			if a < s.Threads {
+				aggr = strconv.Itoa(a)
+			}
+			for c, n := range cells {
+				if n == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%s_total{victim=\"%d\",aggressor=\"%s\",cause=\"%s\"} %d\n",
+					pn, v, aggr, s.Causes[c], n)
+			}
+		}
+	}
 }
 
 // writeProgressGauges appends the sweep-progress family to a
