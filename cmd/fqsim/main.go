@@ -79,6 +79,14 @@ func main() {
 		for _, p := range trace.Suite() {
 			fmt.Printf("  %-10s target solo bus utilization %.2f\n", p.Name, p.SoloUtilTarget)
 		}
+		fmt.Println("antagonists (adversarial/heterogeneous agents):")
+		for _, p := range trace.Antagonists() {
+			kind := p.Attack.String()
+			if p.Attack == trace.AttackNone {
+				kind = p.Agent.String()
+			}
+			fmt.Printf("  %-10s %-12s target solo bus utilization %.2f\n", p.Name, kind, p.SoloUtilTarget)
+		}
 		return
 	}
 

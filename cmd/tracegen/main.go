@@ -1,11 +1,17 @@
 // Command tracegen records a synthetic benchmark's instruction stream
 // to a trace file (the reproduction's analogue of the paper's "sampled
-// traces"), and can summarize or verify existing trace files.
+// traces"), converts external text/CSV traces to the binary format,
+// and can summarize or verify existing trace files.
 //
 // Usage:
 //
 //	tracegen -bench art -n 1000000 -o art.trc [-thread 0] [-seed 0]
+//	tracegen -convert captured.txt -o captured.trc [-n 500000]
 //	tracegen -info art.trc
+//
+// -bench accepts antagonist profiles (stream, rowthrash, bankhammer,
+// bushog, diurnal) as well as the SPEC suite; -convert reads the text
+// format documented in internal/trace/external.go.
 package main
 
 import (
@@ -18,18 +24,28 @@ import (
 
 func main() {
 	var (
-		bench  = flag.String("bench", "", "benchmark to record (see fqsim -list)")
-		n      = flag.Uint64("n", 1_000_000, "instructions to record")
-		out    = flag.String("o", "", "output trace file")
-		thread = flag.Int("thread", 0, "thread id (selects the address region)")
-		seed   = flag.Uint64("seed", 0, "generator seed")
-		info   = flag.String("info", "", "summarize an existing trace file and exit")
+		bench   = flag.String("bench", "", "benchmark to record (see fqsim -list)")
+		n       = flag.Uint64("n", 1_000_000, "instructions to record")
+		out     = flag.String("o", "", "output trace file")
+		thread  = flag.Int("thread", 0, "thread id (selects the address region)")
+		seed    = flag.Uint64("seed", 0, "generator seed")
+		info    = flag.String("info", "", "summarize an existing trace file and exit")
+		convert = flag.String("convert", "", "external text/CSV trace to convert to the binary format")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
+	}
+	flagSet := func(name string) bool {
+		set := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == name {
+				set = true
+			}
+		})
+		return set
 	}
 
 	if *info != "" {
@@ -59,8 +75,41 @@ func main() {
 		return
 	}
 
+	if *convert != "" {
+		if *out == "" {
+			fail(fmt.Errorf("-convert needs -o"))
+		}
+		in, err := os.Open(*convert)
+		if err != nil {
+			fail(err)
+		}
+		r, err := trace.ReadExternal(in)
+		in.Close()
+		if err != nil {
+			fail(err)
+		}
+		// Default to one full pass; -n can shorten or (looping) extend it.
+		count := uint64(r.Len())
+		if flagSet("n") {
+			count = *n
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.WriteTrace(f, r, count); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("converted %d instructions of %s to %s\n", count, r.Name(), *out)
+		return
+	}
+
 	if *bench == "" || *out == "" {
-		fail(fmt.Errorf("need -bench and -o (or -info)"))
+		fail(fmt.Errorf("need -bench and -o (or -info, -convert)"))
 	}
 	p, err := trace.ByName(*bench)
 	if err != nil {

@@ -74,6 +74,15 @@ func BenchmarkByName(name string) (Benchmark, error) { return trace.ByName(name)
 // workloads.
 func FourCoreWorkloads() [][]string { return trace.FourCoreWorkloads() }
 
+// Antagonists returns the adversarial and heterogeneous agent profiles
+// (streaming accelerator-style agents, row-buffer/bank/bus attackers,
+// and the diurnal bursty arrival process). They resolve through
+// BenchmarkByName like the SPEC suite.
+func Antagonists() []Benchmark { return trace.Antagonists() }
+
+// AntagonistNames returns the antagonist profile names.
+func AntagonistNames() []string { return trace.AntagonistNames() }
+
 // DDR2Timing is the DDR2 timing-constraint set (Table 6).
 type DDR2Timing = dram.Timing
 
@@ -120,6 +129,12 @@ type SystemConfig struct {
 	// invariants; a violation panics. Results are identical either way.
 	// The FQMS_AUDIT environment variable also enables it globally.
 	Audit bool
+
+	// Interference enables per-request delay attribution: the live
+	// System's Interference method then reports the who-delayed-whom
+	// matrix and its per-cause breakdown. Observation-only — results
+	// are bit-identical with it on or off.
+	Interference bool
 }
 
 // Run simulates the configured system and reports per-thread and
@@ -145,11 +160,12 @@ func Run(cfg SystemConfig) (Result, error) {
 		profiles[i] = p
 	}
 	scfg := sim.Config{
-		Workload: profiles,
-		Shares:   cfg.Shares,
-		Policy:   factory,
-		Seed:     cfg.Seed,
-		Audit:    cfg.Audit,
+		Workload:     profiles,
+		Shares:       cfg.Shares,
+		Policy:       factory,
+		Seed:         cfg.Seed,
+		Audit:        cfg.Audit,
+		Interference: cfg.Interference,
 	}
 	if cfg.MemoryScale > 1 {
 		scfg.Mem.DRAM = dram.DefaultConfig()
@@ -194,11 +210,12 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		profiles[i] = p
 	}
 	scfg := sim.Config{
-		Workload: profiles,
-		Shares:   cfg.Shares,
-		Policy:   factory,
-		Seed:     cfg.Seed,
-		Audit:    cfg.Audit,
+		Workload:     profiles,
+		Shares:       cfg.Shares,
+		Policy:       factory,
+		Seed:         cfg.Seed,
+		Audit:        cfg.Audit,
+		Interference: cfg.Interference,
 	}
 	if cfg.MemoryScale > 1 {
 		scfg.Mem.DRAM = dram.DefaultConfig()

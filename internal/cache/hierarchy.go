@@ -21,6 +21,17 @@ func DefaultHierarchyConfig() HierarchyConfig {
 	}
 }
 
+// StreamHierarchyConfig returns the accelerator-style streaming
+// agent's hierarchy: the Table 5 caches with a deeper MSHR file and
+// writeback queue, so the deep-queue core (cpu.StreamConfig) can keep
+// more line fetches in flight. Hit latencies are unchanged.
+func StreamHierarchyConfig() HierarchyConfig {
+	c := DefaultHierarchyConfig()
+	c.MSHRs = 64
+	c.WBQueueCap = 64
+	return c
+}
+
 // AccessClass distinguishes the three request sources.
 type AccessClass uint8
 

@@ -42,6 +42,24 @@ func DefaultConfig() Config {
 	}
 }
 
+// StreamConfig returns the accelerator-style streaming agent's core
+// (trace.AgentStream): a deep reorder buffer and load/store queues with
+// wide dispatch, so the agent's throughput depends on bandwidth, not on
+// any individual load's latency — the latency-tolerant heterogeneous
+// co-runner of the adversarial-isolation suite.
+func StreamConfig() Config {
+	return Config{
+		ROB:            512,
+		DispatchWidth:  8,
+		RetireWidth:    8,
+		LoadQueue:      128,
+		StoreBuffer:    64,
+		LoadsPerCycle:  4,
+		StoresPerCycle: 2,
+		IFetchEvery:    16,
+	}
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.ROB < 1 || c.DispatchWidth < 1 || c.RetireWidth < 1 ||

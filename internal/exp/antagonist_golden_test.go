@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Antagonist golden figures: the adversarial-isolation headline numbers
+// at QuickConfig, frozen into testdata/golden/antagonist.json. One row
+// per antagonist profile: its solo signature (IPC, bus utilization,
+// row-hit rate on the physical system), the vpr victim's slowdown
+// against the scale-2 private-φ baseline under FQ-VFTF and FR-FCFS,
+// and the share of the victim's attributed wait cycles charged to the
+// attacker under FR-FCFS. Bless deliberate changes with
+//
+//	go test ./internal/exp -run TestAntagonistGolden -update
+//
+// On mismatch the fresh rows land in antagonist.got.json for diffing.
+
+const antagonistGoldenFile = "testdata/golden/antagonist.json"
+
+// AntagonistRow is one antagonist's frozen headline numbers.
+type AntagonistRow struct {
+	Attacker    string  `json:"attacker"`
+	SoloIPC     float64 `json:"solo_ipc"`
+	SoloBusUtil float64 `json:"solo_bus_util"`
+	SoloRowHit  float64 `json:"solo_row_hit"`
+
+	// Victim (vpr) slowdown = private-φ IPC / shared IPC.
+	SlowdownFQ float64 `json:"slowdown_fq_vftf"`
+	SlowdownFR float64 `json:"slowdown_fr_fcfs"`
+
+	// StolenShareFR is Matrix[victim][attacker] / sum(Matrix[victim])
+	// from the interference cube of the FR-FCFS co-run.
+	StolenShareFR float64 `json:"stolen_share_fr_fcfs"`
+}
+
+type antagonistGolden struct {
+	Rows []AntagonistRow `json:"rows"`
+}
+
+func computeAntagonistGolden(t *testing.T) antagonistGolden {
+	t.Helper()
+	cfg := QuickConfig()
+	r := NewRunner(cfg)
+	base, err := r.Solo("vpr", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr, err := trace.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g antagonistGolden
+	for _, name := range trace.AntagonistNames() {
+		solo, err := r.Solo(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := AntagonistRow{
+			Attacker:    name,
+			SoloIPC:     solo.IPC,
+			SoloBusUtil: solo.BusUtil,
+			SoloRowHit:  solo.RowHitRate,
+		}
+		atk, err := trace.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []string{"FQ-VFTF", "FR-FCFS"} {
+			factory, err := sim.PolicyByName(pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, res, err := sim.RunSystem(sim.Config{
+				Workload:     []trace.Profile{vpr, atk},
+				Policy:       factory,
+				Interference: true,
+			}, cfg.Warmup, cfg.Window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sd := base.IPC / res.Threads[0].IPC
+			switch pol {
+			case "FQ-VFTF":
+				row.SlowdownFQ = sd
+			case "FR-FCFS":
+				row.SlowdownFR = sd
+				snap, ok := s.Interference()
+				if !ok {
+					t.Fatal("interference attribution not enabled")
+				}
+				var total int64
+				for _, c := range snap.Matrix[0] {
+					total += c
+				}
+				if total > 0 {
+					row.StolenShareFR = float64(snap.Matrix[0][1]) / float64(total)
+				}
+			}
+		}
+		g.Rows = append(g.Rows, row)
+	}
+	return g
+}
+
+func diffAntagonist(got, want antagonistGolden) []string {
+	var diffs []string
+	if len(got.Rows) != len(want.Rows) {
+		return []string{fmt.Sprintf("row counts: got %d, golden %d", len(got.Rows), len(want.Rows))}
+	}
+	for i, g := range got.Rows {
+		w := want.Rows[i]
+		if g.Attacker != w.Attacker {
+			diffs = append(diffs, fmt.Sprintf("rows[%d]: attacker %q vs %q", i, g.Attacker, w.Attacker))
+			continue
+		}
+		num := func(label string, gv, wv float64) {
+			if !closeEnough(gv, wv) {
+				diffs = append(diffs, fmt.Sprintf("%s/%s: got %v, golden %v", g.Attacker, label, gv, wv))
+			}
+		}
+		num("solo_ipc", g.SoloIPC, w.SoloIPC)
+		num("solo_bus_util", g.SoloBusUtil, w.SoloBusUtil)
+		num("solo_row_hit", g.SoloRowHit, w.SoloRowHit)
+		num("slowdown_fq_vftf", g.SlowdownFQ, w.SlowdownFQ)
+		num("slowdown_fr_fcfs", g.SlowdownFR, w.SlowdownFR)
+		num("stolen_share_fr_fcfs", g.StolenShareFR, w.StolenShareFR)
+	}
+	return diffs
+}
+
+// TestAntagonistGolden freezes the adversarial headline numbers and
+// enforces the qualitative isolation result independent of them: under
+// every attacker, FQ-VFTF bounds the victim at its private-φ baseline
+// while FR-FCFS does not, and the FR-FCFS victim's waits are majority-
+// attributed to the attacker.
+func TestAntagonistGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("antagonist sweep is slow")
+	}
+	got := computeAntagonistGolden(t)
+
+	for _, row := range got.Rows {
+		if row.SlowdownFQ > 1.0 {
+			t.Errorf("%s: FQ-VFTF slowdown %.3f exceeds the private-φ bound", row.Attacker, row.SlowdownFQ)
+		}
+		if row.SlowdownFR <= row.SlowdownFQ {
+			t.Errorf("%s: FR-FCFS slowdown %.3f not above FQ-VFTF's %.3f", row.Attacker, row.SlowdownFR, row.SlowdownFQ)
+		}
+		if row.StolenShareFR <= 0.5 {
+			t.Errorf("%s: only %.0f%% of the FR-FCFS victim's waits attributed to the attacker", row.Attacker, 100*row.StolenShareFR)
+		}
+	}
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(antagonistGoldenFile, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", antagonistGoldenFile)
+		return
+	}
+
+	buf, err := os.ReadFile(antagonistGoldenFile)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var want antagonistGolden
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if diffs := diffAntagonist(got, want); len(diffs) > 0 {
+		gotPath := "testdata/golden/antagonist.got.json"
+		if b, err := json.MarshalIndent(got, "", "  "); err == nil {
+			os.WriteFile(gotPath, append(b, '\n'), 0o644)
+		}
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Errorf("antagonist figures drifted from %s (%d mismatches); wrote %s — inspect the diff, then bless with -update if intended",
+			antagonistGoldenFile, len(diffs), gotPath)
+	} else {
+		os.Remove("testdata/golden/antagonist.got.json")
+	}
+}

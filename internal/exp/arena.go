@@ -45,12 +45,22 @@ type ArenaSpec struct {
 	Channels []int
 }
 
-// DefaultArenaSpec sweeps the paper's headline two-core pair and its
-// first four-core workload over equal and 3/4-skewed allocations on
-// one and two channels: 6 policies x 2 mixes x 2 shares x 2 channels.
+// DefaultArenaSpec sweeps the paper's headline two-core pair, its
+// first four-core workload, and two adversarial pairs (vpr against the
+// sequential bus hog and against the bank-conflict attacker) over
+// equal and 3/4-skewed allocations on one and two channels: 6 policies
+// x 4 mixes x 2 shares x 2 channels. The antagonist mixes put the
+// isolation property on the arena's fairness axis: FQ-VFTF holds the
+// victim's slowdown bounded where the lineage's interval heuristics
+// only soften the attack.
 func DefaultArenaSpec() ArenaSpec {
 	return ArenaSpec{
-		Mixes:    [][]string{{"vpr", "art"}, trace.FourCoreWorkloads()[0]},
+		Mixes: [][]string{
+			{"vpr", "art"},
+			trace.FourCoreWorkloads()[0],
+			{"vpr", "bushog"},
+			{"vpr", "bankhammer"},
+		},
 		Shares:   []core.Share{{}, {Num: 3, Den: 4}},
 		Channels: []int{1, 2},
 	}

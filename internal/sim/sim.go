@@ -351,6 +351,11 @@ const noEpoch = int64(1) << 62
 
 // New constructs a system.
 func New(cfg Config) (*System, error) {
+	// An explicitly configured CPU or cache applies to every core;
+	// otherwise each core's configuration follows its profile's agent
+	// kind (the Table 5 OoO core, or the deep-queue streaming agent).
+	cpuExplicit := cfg.CPU != (cpu.Config{})
+	cacheExplicit := cfg.Cache != (cache.HierarchyConfig{})
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -369,8 +374,29 @@ func New(cfg Config) (*System, error) {
 		wbQ:    make([]timedQueue, n),
 		respQ:  make([]timedQueue, n),
 	}
+	// Attack-pattern generators target the system's actual address
+	// geometry, so bank aim survives channel-count changes.
+	geom := trace.Geom{
+		Channels: cfg.Mem.Channels,
+		Ranks:    cfg.Mem.DRAM.Ranks,
+		Banks:    cfg.Mem.DRAM.BanksPerRank,
+		Rows:     cfg.Mem.DRAM.RowsPerBank,
+		Cols:     cfg.Mem.DRAM.ColsPerRow,
+	}
+	if geom.Channels < 1 {
+		geom.Channels = 1
+	}
 	for i := 0; i < n; i++ {
-		hier, err := cache.NewHierarchy(cfg.Cache)
+		cpuCfg, cacheCfg := cfg.CPU, cfg.Cache
+		if cfg.Workload[i].Agent == trace.AgentStream {
+			if !cpuExplicit {
+				cpuCfg = cpu.StreamConfig()
+			}
+			if !cacheExplicit {
+				cacheCfg = cache.StreamHierarchyConfig()
+			}
+		}
+		hier, err := cache.NewHierarchy(cacheCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -378,13 +404,13 @@ func New(cfg Config) (*System, error) {
 		if cfg.Sources != nil {
 			src = cfg.Sources[i]
 		} else {
-			gen, err := trace.NewGenerator(cfg.Workload[i], i, cfg.Seed+1)
+			gen, err := trace.NewGeneratorGeom(cfg.Workload[i], i, cfg.Seed+1, geom)
 			if err != nil {
 				return nil, err
 			}
 			src = gen
 		}
-		c, err := cpu.New(i, cfg.CPU, src, hier)
+		c, err := cpu.New(i, cpuCfg, src, hier)
 		if err != nil {
 			return nil, err
 		}

@@ -43,8 +43,9 @@ const Magic = "FQMSSNAP"
 // interval-policy tracking state. v3 added the DRAM occupant-identity
 // fields, the interference-attribution tracker state in memctrl, the
 // fairness monitor's per-epoch top-aggressor columns, and the
-// Interference bit in the configuration fingerprint.
-const Version = 3
+// Interference bit in the configuration fingerprint. v4 added the
+// trace generator's attack-pattern cursor (the antagonist workloads).
+const Version = 4
 
 // MaxSlice is the default element cap for variable-length sections
 // whose natural bound is configuration-dependent but small (queues,

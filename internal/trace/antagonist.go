@@ -1,0 +1,281 @@
+package trace
+
+import "fmt"
+
+// Adversarial and heterogeneous agents. The paper's QoS claim — a
+// thread with share phi performs at least as well as on a private
+// phi-fraction memory system *regardless of what the other threads
+// do* — is only testable against workloads engineered to break it.
+// This file defines those workloads: targeted antagonist address
+// patterns that concentrate fire on a victim's banks and rows (the
+// streak-y row-hit hogs that motivate Blacklisting-style schedulers),
+// a latency-tolerant accelerator-style streaming agent in the
+// heterogeneous-systems tradition, and a diurnal multi-tenant arrival
+// envelope. The isolation property suite (internal/sim) points the
+// interference-attribution cube at them and pins the paper's Section 5
+// bound as a regression test.
+
+// AgentKind selects the core model that executes a profile.
+type AgentKind uint8
+
+const (
+	// AgentOoO is the default latency-sensitive out-of-order core
+	// (the paper's Table 5 processor).
+	AgentOoO AgentKind = iota
+	// AgentStream is a latency-tolerant accelerator-style core: deep
+	// request queues, wide dispatch, and no sensitivity to individual
+	// load latency (cpu.StreamConfig / cache.StreamHierarchyConfig).
+	AgentStream
+)
+
+func (k AgentKind) String() string {
+	switch k {
+	case AgentOoO:
+		return "ooo"
+	case AgentStream:
+		return "stream"
+	}
+	return fmt.Sprintf("agent(%d)", uint8(k))
+}
+
+// AttackKind selects a targeted antagonist address pattern. A non-zero
+// Attack replaces the profile's mixture-model address selection with a
+// deterministic geometry-aware walk; instruction mix, burst shaping,
+// and memory intensity still follow the profile's other fields.
+type AttackKind uint8
+
+const (
+	// AttackNone is the ordinary mixture model.
+	AttackNone AttackKind = iota
+	// AttackRowThrash alternates between two rows of the target bank
+	// column by column, so every access closes the row the previous
+	// one opened: a worst-case row-buffer conflict stream inside the
+	// victim's bank.
+	AttackRowThrash
+	// AttackBankHammer walks a fresh row of the target bank on every
+	// access: the bank serializes on its row-cycle time and the
+	// victim's requests to it queue behind the attacker's.
+	AttackBankHammer
+	// AttackBusHog streams consecutive lines with maximal burst
+	// length: near-perfect row locality across every bank and channel,
+	// saturating the data bus (and FR-FCFS's row-hit priority).
+	AttackBusHog
+)
+
+func (k AttackKind) String() string {
+	switch k {
+	case AttackNone:
+		return "none"
+	case AttackRowThrash:
+		return "rowthrash"
+	case AttackBankHammer:
+		return "bankhammer"
+	case AttackBusHog:
+		return "bushog"
+	}
+	return fmt.Sprintf("attack(%d)", uint8(k))
+}
+
+// Geom mirrors the DRAM address geometry (addrmap.Geometry) so attack
+// generators can construct line addresses with known coordinates
+// without importing the mapper. All dimensions must be powers of two.
+type Geom struct {
+	Channels, Ranks, Banks, Rows, Cols int
+}
+
+// DefaultGeom is the paper's Table 5 memory system shape: one channel,
+// one rank, eight banks, 16384 rows of 128 cache lines.
+func DefaultGeom() Geom {
+	return Geom{Channels: 1, Ranks: 1, Banks: 8, Rows: 16384, Cols: 128}
+}
+
+func (g Geom) validate() error {
+	for _, d := range [...]struct {
+		name string
+		v    int
+	}{
+		{"channels", g.Channels},
+		{"ranks", g.Ranks},
+		{"banks", g.Banks},
+		{"rows", g.Rows},
+		{"cols", g.Cols},
+	} {
+		if d.v < 1 || d.v&(d.v-1) != 0 {
+			return fmt.Errorf("trace: geometry %s must be a positive power of two, got %d", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// Antagonists returns the adversarial and heterogeneous agent
+// profiles. They resolve through ByName like the SPEC suite but are
+// deliberately kept out of Suite(), Names(), and the Figure 4
+// calibration ordering.
+func Antagonists() []Profile {
+	return []Profile{
+		{
+			// Accelerator-style streaming agent: bandwidth-hungry,
+			// latency-tolerant (AgentStream selects the deep-queue core
+			// model), eight concurrent streams over a 16MB footprint.
+			Name: "stream", Agent: AgentStream,
+			MemFrac: 0.40, StoreFrac: 0.30,
+			SeqFrac: 0.95, ChaseFrac: 0, Streams: 8, BurstLen: 64,
+			WorkingSetKB: 16384, FpFrac: 0.3, DepFrac: 0.05,
+			SoloUtilTarget: 0.90,
+		},
+		{
+			// Row-buffer thrasher aimed at bank 0: every access forces
+			// the bank to close the row its predecessor opened.
+			Name: "rowthrash", Attack: AttackRowThrash, TargetBank: 0,
+			MemFrac: 0.45, StoreFrac: 0, BurstLen: 32,
+			WorkingSetKB: 4096, FpFrac: 0, DepFrac: 0.05,
+			SoloUtilTarget: 0.30,
+		},
+		{
+			// Bank-conflict attacker aimed at bank 0: a fresh row every
+			// access, serializing the bank on tRC.
+			Name: "bankhammer", Attack: AttackBankHammer, TargetBank: 0,
+			MemFrac: 0.45, StoreFrac: 0, BurstLen: 32,
+			WorkingSetKB: 4096, FpFrac: 0, DepFrac: 0.05,
+			SoloUtilTarget: 0.30,
+		},
+		{
+			// Bus hog: maximal-burst-length streaming, the pattern
+			// FR-FCFS's row-hit priority rewards the most.
+			Name: "bushog", Attack: AttackBusHog,
+			MemFrac: 0.92, StoreFrac: 0.35, BurstLen: 256,
+			WorkingSetKB: 32768, FpFrac: 0, DepFrac: 0.05,
+			SoloUtilTarget: 0.95,
+		},
+		{
+			// Diurnal multi-tenant streamer: 40% of every 60k-instruction
+			// period at full intensity, near-idle in between. Models the
+			// bursty arrival process of a consolidated tenant.
+			Name: "diurnal", Agent: AgentStream,
+			PhasePeriod: 60_000, PhaseDutyPct: 40, PhaseLowMemFrac: 0.005,
+			MemFrac: 0.50, StoreFrac: 0.25,
+			SeqFrac: 0.90, ChaseFrac: 0, Streams: 4, BurstLen: 48,
+			WorkingSetKB: 16384, FpFrac: 0.3, DepFrac: 0.05,
+			SoloUtilTarget: 0.50,
+		},
+	}
+}
+
+// AntagonistNames returns the antagonist profile names.
+func AntagonistNames() []string {
+	as := Antagonists()
+	out := make([]string, len(as))
+	for i, p := range as {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// initAttack precomputes the attack encoder for the generator's thread
+// region under the geometry. The encoder builds linear line addresses
+// bit-compatible with addrmap.Linear (row | rank | bank | col |
+// channel) and pre-compensates the controller's default XOR bank
+// permutation (bank ^= row & bankMask), so the decoded physical bank is
+// exactly the profile's TargetBank. A non-default linear mapper
+// scrambles the targeting (the pattern degrades into a multi-bank
+// conflict stream) but never breaks determinism.
+func (g *Generator) initAttack(geom Geom) error {
+	if err := geom.validate(); err != nil {
+		return err
+	}
+	p := g.p
+	if p.Attack == AttackNone {
+		return nil
+	}
+	if p.TargetBank < 0 || p.TargetBank >= geom.Ranks*geom.Banks {
+		return fmt.Errorf("trace: %s: target bank %d outside %d banks", p.Name, p.TargetBank, geom.Ranks*geom.Banks)
+	}
+	g.atkChanBits = log2u(geom.Channels)
+	g.atkColBits = log2u(geom.Cols)
+	g.atkBankBits = log2u(geom.Banks)
+	g.atkRankBits = log2u(geom.Ranks)
+	g.atkBankMask = uint64(geom.Banks - 1)
+	g.atkChans = uint64(geom.Channels)
+	g.atkCols = uint64(geom.Cols)
+	g.atkBank = uint64(p.TargetBank) & g.atkBankMask
+
+	// The thread's private row stripe: regionLines line addresses span
+	// regionLines / (channels*ranks*banks*cols) consecutive rows.
+	stripe := uint64(geom.Channels) * uint64(geom.Ranks) * uint64(geom.Banks) * uint64(geom.Cols)
+	rowsPerThread := uint64(regionLines) / stripe
+	if rowsPerThread < 2 {
+		rowsPerThread = 2
+	}
+	rows := uint64(p.AttackRows)
+	if rows == 0 || rows > rowsPerThread {
+		rows = rowsPerThread
+	}
+	if rows > uint64(geom.Rows) {
+		rows = uint64(geom.Rows)
+	}
+	if rows < 2 {
+		rows = 2
+	}
+	g.atkRows = rows
+	g.atkRowBase = (g.base / stripe) % uint64(geom.Rows)
+	return nil
+}
+
+func log2u(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// atkEncode builds the linear line address for (row, col, channel) in
+// the target bank, pre-compensating the XOR bank permutation.
+func (g *Generator) atkEncode(row, col, ch uint64) uint64 {
+	bank := (g.atkBank ^ (row & g.atkBankMask)) & g.atkBankMask
+	a := row
+	a = a << g.atkRankBits // rank 0
+	a = a<<g.atkBankBits | bank
+	a = a<<g.atkColBits | col
+	a = a<<g.atkChanBits | ch&(g.atkChans-1)
+	return a
+}
+
+// attackAddr emits the next line address of the profile's attack
+// pattern. Every pattern is a pure function of the monotone attackStep
+// cursor (checkpointed alongside the rng), visits each line at most
+// once per full cycle of at least atkRows*cols lines — far beyond the
+// cache hierarchy, so the stream always reaches DRAM — and rotates
+// across channels so multi-channel systems see the same per-bank
+// pressure.
+func (g *Generator) attackAddr() uint64 {
+	k := g.attackStep
+	g.attackStep++
+	switch g.p.Attack {
+	case AttackRowThrash:
+		// Column-interleaved alternation between the two rows of the
+		// current pair: A0 B0 A1 B1 ... A127 B127, then the next pair.
+		ch := k % g.atkChans
+		j := k / g.atkChans
+		episode := 2 * g.atkCols
+		within := j % episode
+		col := within / 2
+		pair := (j / episode) % (g.atkRows / 2)
+		row := g.atkRowBase + 2*pair + within&1
+		return g.atkEncode(row, col, ch)
+	case AttackBankHammer:
+		// A fresh row on every access; the column advances once per
+		// full row sweep so lines are never reused within the sweep.
+		ch := k % g.atkChans
+		j := k / g.atkChans
+		row := g.atkRowBase + j%g.atkRows
+		col := (j / g.atkRows) % g.atkCols
+		return g.atkEncode(row, col, ch)
+	default: // AttackBusHog
+		// Plain sequential walk over the working set: consecutive line
+		// addresses interleave channels and columns first, giving
+		// maximal-burst-length row hits that round-robin every bank.
+		return g.base + k%uint64(g.wsLines)
+	}
+}

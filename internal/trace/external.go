@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// External text trace format. Captured traces (from a real-machine
+// pintool, another simulator, or a hand-written regression case) can
+// drive the simulator without converting to the binary FQMSTRC1 format
+// first; cmd/tracegen -convert turns external text into the compact
+// binary form for archival.
+//
+// The format is line oriented:
+//
+//	# comments and blank lines are ignored
+//	name <benchmark-name>      (directive, optional, once)
+//	codekb <int>               (directive, optional: I-fetch footprint)
+//	<kind>[ <addr>[ <dep>[ <lat>]]]
+//
+// Fields are separated by spaces, tabs, or commas (so plain CSV rows
+// "ld,0x12,0,0" parse too). kind is one of ld/load, st/store, int,
+// fp, br/branch. addr is the cache-line address of a load or store,
+// decimal or 0x-prefixed hex. dep is the producer distance in
+// instructions (0 = none; values beyond 255 drop the edge, matching
+// the binary format's saturation rule). lat is the execution latency
+// in cycles for compute instructions; it defaults to 1 (int, br) or
+// 4 (fp).
+
+// Parser limits. A hostile input may claim anything; these caps bound
+// what ReadExternal will allocate before failing.
+const (
+	maxExternalLine = 1 << 20 // a line longer than 1MB is rejected
+	maxExternalDep  = 255
+	maxExternalLat  = 1 << 20
+)
+
+// ReadExternal parses the external text/CSV trace format into a replay
+// Reader (the same looping Source the binary format produces).
+// Hostile inputs — truncated lines, huge fields, absurd counts — fail
+// with an error; they never panic and never allocate beyond the
+// instruction cap.
+func ReadExternal(r io.Reader) (*Reader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxExternalLine)
+	name := "external"
+	codeKB := 0
+	var records []Instr
+	lineNo := 0
+	const maxTrace = 1 << 28
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		})
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToLower(fields[0]) {
+		case "name":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: external line %d: name directive wants one value", lineNo)
+			}
+			if len(fields[1]) > 1<<16-1 {
+				return nil, fmt.Errorf("trace: external line %d: name too long", lineNo)
+			}
+			name = fields[1]
+			continue
+		case "codekb":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: external line %d: codekb directive wants one value", lineNo)
+			}
+			v, err := strconv.ParseUint(fields[1], 0, 32)
+			if err != nil || v > 1<<20 {
+				return nil, fmt.Errorf("trace: external line %d: bad codekb %q", lineNo, fields[1])
+			}
+			codeKB = int(v)
+			continue
+		}
+		ins, err := parseExternalInstr(fields)
+		if err != nil {
+			return nil, fmt.Errorf("trace: external line %d: %w", lineNo, err)
+		}
+		if uint64(len(records)) >= maxTrace {
+			return nil, fmt.Errorf("trace: external trace exceeds the %d-instruction cap", maxTrace)
+		}
+		records = append(records, ins)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: external line %d: %w", lineNo+1, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: external trace has no instructions")
+	}
+	return &Reader{
+		name:      name,
+		codeKB:    codeKB,
+		codeLines: codeKB * 1024 / lineBytes,
+		records:   records,
+	}, nil
+}
+
+// parseExternalInstr decodes one instruction line's fields.
+func parseExternalInstr(fields []string) (Instr, error) {
+	var ins Instr
+	mem := false
+	switch strings.ToLower(fields[0]) {
+	case "ld", "load":
+		ins.Kind = KindLoad
+		mem = true
+	case "st", "store":
+		ins.Kind = KindStore
+		mem = true
+	case "int":
+		ins.Kind = KindInt
+		ins.Lat = 1
+	case "fp":
+		ins.Kind = KindFp
+		ins.Lat = 4
+	case "br", "branch":
+		ins.Kind = KindBranch
+		ins.Lat = 1
+	default:
+		return ins, fmt.Errorf("unknown kind %q", fields[0])
+	}
+	if len(fields) > 4 {
+		return ins, fmt.Errorf("too many fields (%d)", len(fields))
+	}
+	if mem {
+		if len(fields) < 2 {
+			return ins, fmt.Errorf("%s needs an address", fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return ins, fmt.Errorf("bad address %q", fields[1])
+		}
+		ins.Addr = addr
+	} else if len(fields) >= 2 && fields[1] != "0" && fields[1] != "" {
+		return ins, fmt.Errorf("%s takes no address (got %q)", fields[0], fields[1])
+	}
+	if len(fields) >= 3 {
+		dep, err := strconv.ParseUint(fields[2], 0, 32)
+		if err != nil {
+			return ins, fmt.Errorf("bad dep %q", fields[2])
+		}
+		if dep > maxExternalDep {
+			dep = 0 // beyond any ROB; drop the edge (binary-format rule)
+		}
+		ins.Dep = int(dep)
+	}
+	if len(fields) == 4 {
+		lat, err := strconv.ParseUint(fields[3], 0, 32)
+		if err != nil || lat > maxExternalLat {
+			return ins, fmt.Errorf("bad lat %q", fields[3])
+		}
+		if !mem {
+			ins.Lat = int(lat)
+		}
+	}
+	return ins, nil
+}

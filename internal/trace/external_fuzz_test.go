@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadExternal feeds arbitrary bytes to the external-trace parser.
+// The invariants: never panic, never hang; a successful parse yields a
+// usable Source (Next and CodeLine run without panicking) and parsing
+// is deterministic (same bytes, same records).
+func FuzzReadExternal(f *testing.F) {
+	f.Add([]byte("ld 0x40\nst 0x80 3\nint\nfp 0 2 9\nbr\n"))
+	f.Add([]byte("name t\ncodekb 8\nld,64,0,0\n"))
+	f.Add([]byte("# comment\n\nld 0xffffffffffffffff 255 0\n"))
+	f.Add([]byte("int 0 256 4\nload 9999999999\n"))
+	f.Add([]byte("ld"))
+	f.Add([]byte("name\n"))
+	f.Add([]byte("codekb 1048577\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r1, err1 := ReadExternal(bytes.NewReader(data))
+		r2, err2 := ReadExternal(bytes.NewReader(data))
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic outcome: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if r1.Len() == 0 {
+			t.Fatal("successful parse with zero instructions")
+		}
+		if r1.Len() != r2.Len() || r1.Name() != r2.Name() {
+			t.Fatalf("nondeterministic parse: %d/%q vs %d/%q", r1.Len(), r1.Name(), r2.Len(), r2.Name())
+		}
+		// Drive the reader past one wrap; every yielded instruction must
+		// be well formed enough for the CPU model.
+		var a, b Instr
+		n := r1.Len() + 3
+		for i := 0; i < n; i++ {
+			r1.Next(&a)
+			r2.Next(&b)
+			if a != b {
+				t.Fatalf("nondeterministic record %d: %+v vs %+v", i, a, b)
+			}
+			if a.Dep < 0 || a.Dep > maxExternalDep {
+				t.Fatalf("record %d: dep %d out of range", i, a.Dep)
+			}
+			if a.Lat < 0 || a.Lat > maxExternalLat {
+				t.Fatalf("record %d: lat %d out of range", i, a.Lat)
+			}
+			r1.CodeLine()
+			r2.CodeLine()
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadExternalFormat(t *testing.T) {
+	src := `# captured on some machine
+name  mytrace
+codekb 32
+
+ld 0x40 0 0
+st,0x80,3
+int
+fp 0 2 9
+br
+load 128
+int 0 300
+`
+	r, err := ReadExternal(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "mytrace" {
+		t.Errorf("name = %q, want mytrace", r.Name())
+	}
+	if r.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", r.Len())
+	}
+	want := []Instr{
+		{Kind: KindLoad, Addr: 0x40},
+		{Kind: KindStore, Addr: 0x80, Dep: 3},
+		{Kind: KindInt, Lat: 1},
+		{Kind: KindFp, Dep: 2, Lat: 9},
+		{Kind: KindBranch, Lat: 1},
+		{Kind: KindLoad, Addr: 128},
+		{Kind: KindInt, Lat: 1}, // dep 300 > 255: edge dropped
+	}
+	var ins Instr
+	for i, w := range want {
+		r.Next(&ins)
+		if ins != w {
+			t.Errorf("instr %d = %+v, want %+v", i, ins, w)
+		}
+	}
+	// The reader loops like the binary replay reader.
+	r.Next(&ins)
+	if ins != want[0] {
+		t.Errorf("after wrap: %+v, want %+v", ins, want[0])
+	}
+	// codekb 32 enables the I-fetch stream.
+	if _, ok := r.CodeLine(); !ok {
+		t.Error("codekb directive did not enable the code stream")
+	}
+}
+
+func TestReadExternalDefaults(t *testing.T) {
+	r, err := ReadExternal(strings.NewReader("int\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "external" {
+		t.Errorf("default name = %q", r.Name())
+	}
+	if _, ok := r.CodeLine(); ok {
+		t.Error("code stream enabled without codekb")
+	}
+}
+
+func TestReadExternalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"comments only", "# nothing\n\n"},
+		{"unknown kind", "mul 0x40\n"},
+		{"load without address", "ld\n"},
+		{"bad address", "ld zzz\n"},
+		{"address on compute", "int 0x40\n"},
+		{"too many fields", "ld 0x40 0 1 9\n"},
+		{"bad dep", "ld 0x40 -1\n"},
+		{"bad lat", "fp 0 0 huge\n"},
+		{"lat too large", "int 0 0 99999999\n"},
+		{"bad name directive", "name\n"},
+		{"bad codekb", "codekb lots\n"},
+		{"codekb too large", "codekb 9999999\n"},
+		{"giant line", "ld " + strings.Repeat("9", maxExternalLine+2) + "\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadExternal(strings.NewReader(c.src)); err == nil {
+				t.Errorf("%q parsed without error", c.name)
+			}
+		})
+	}
+}
+
+// TestExternalConvertRoundTrip drives the external reader through the
+// binary format (what cmd/tracegen -convert does) and back, checking
+// the instruction stream and metadata survive.
+func TestExternalConvertRoundTrip(t *testing.T) {
+	src := `name rt
+codekb 16
+ld 0x1234 0 0
+st 0x5678 1
+fp 0 2 7
+br
+int 0 0 3
+`
+	ext, err := ReadExternal(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ext, uint64(ext.Len())); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Name() != "rt" || bin.Len() != 5 {
+		t.Fatalf("round trip: name %q len %d", bin.Name(), bin.Len())
+	}
+	if _, ok := bin.CodeLine(); !ok {
+		t.Error("round trip lost the codekb footprint")
+	}
+	var a, b Instr
+	ext.pos = 0 // rewind after WriteTrace consumed one pass
+	for i := 0; i < 5; i++ {
+		ext.Next(&a)
+		bin.Next(&b)
+		if a != b {
+			t.Errorf("instr %d: external %+v, binary %+v", i, a, b)
+		}
+	}
+}

@@ -18,6 +18,7 @@ func (g *Generator) SaveState(w *snapshot.Writer) {
 	w.Int(g.burstStream)
 	w.U64(g.codePos)
 	w.U64(g.count)
+	w.U64(g.attackStep)
 }
 
 // LoadState restores a cursor saved by SaveState into a generator
@@ -33,6 +34,7 @@ func (g *Generator) LoadState(r *snapshot.Reader) error {
 	burstStream := r.Int()
 	codePos := r.U64()
 	count := r.U64()
+	attackStep := r.U64()
 	if err := r.Err(); err != nil {
 		return err
 	}
@@ -59,6 +61,7 @@ func (g *Generator) LoadState(r *snapshot.Reader) error {
 	g.burstStream = burstStream
 	g.codePos = codePos
 	g.count = count
+	g.attackStep = attackStep
 	return nil
 }
 

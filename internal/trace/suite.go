@@ -159,9 +159,14 @@ func Suite() []Profile {
 	}
 }
 
-// ByName returns the suite profile with the given name.
+// ByName returns the suite or antagonist profile with the given name.
 func ByName(name string) (Profile, error) {
 	for _, p := range Suite() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range Antagonists() {
 		if p.Name == name {
 			return p, nil
 		}

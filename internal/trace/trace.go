@@ -108,6 +108,28 @@ type Profile struct {
 	// SoloUtilTarget documents the paper-Figure-4-like solo data bus
 	// utilization this profile was calibrated toward (fraction of peak).
 	SoloUtilTarget float64
+
+	// Agent selects the core model that executes the profile: the
+	// default latency-sensitive OoO core, or the latency-tolerant
+	// accelerator-style streaming core (see antagonist.go).
+	Agent AgentKind
+
+	// Attack, when non-zero, replaces the mixture model's address
+	// selection with a targeted antagonist pattern aimed at TargetBank
+	// (see antagonist.go). AttackRows bounds the distinct rows the
+	// pattern cycles through (0 selects a cache-defeating default).
+	Attack     AttackKind
+	TargetBank int
+	AttackRows int
+
+	// PhasePeriod > 0 modulates memory intensity with a diurnal on/off
+	// envelope: of every PhasePeriod instructions, the first
+	// PhaseDutyPct percent run at MemFrac and the rest at
+	// PhaseLowMemFrac. The phase is a pure function of the instruction
+	// count, so checkpoints taken mid-burst restore bit-identically.
+	PhasePeriod     uint64
+	PhaseDutyPct    int
+	PhaseLowMemFrac float64
 }
 
 // Validate checks profile consistency.
@@ -123,6 +145,18 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("trace: %s: working set %dKB too small", p.Name, p.WorkingSetKB)
 	case p.MemFrac > 0 && p.SeqFrac > 0 && p.Streams < 1:
 		return fmt.Errorf("trace: %s: streaming profile needs Streams >= 1", p.Name)
+	case p.Agent > AgentStream:
+		return fmt.Errorf("trace: %s: unknown agent kind %d", p.Name, p.Agent)
+	case p.Attack > AttackBusHog:
+		return fmt.Errorf("trace: %s: unknown attack kind %d", p.Name, p.Attack)
+	case p.TargetBank < 0 || p.AttackRows < 0:
+		return fmt.Errorf("trace: %s: negative attack parameter", p.Name)
+	case p.PhaseDutyPct < 0 || p.PhaseDutyPct > 100:
+		return fmt.Errorf("trace: %s: PhaseDutyPct %d out of range", p.Name, p.PhaseDutyPct)
+	case p.PhaseLowMemFrac < 0 || p.PhaseLowMemFrac > 1:
+		return fmt.Errorf("trace: %s: PhaseLowMemFrac %v out of range", p.Name, p.PhaseLowMemFrac)
+	case p.PhasePeriod > 0 && p.PhaseDutyPct == 0:
+		return fmt.Errorf("trace: %s: diurnal profile needs PhaseDutyPct >= 1", p.Name)
 	}
 	return nil
 }
@@ -212,6 +246,28 @@ type Generator struct {
 	depFracT   uint64
 	burstLen   int
 
+	// Diurnal envelope (phasePeriod == 0 means steady): the burst start
+	// threshold drops to burstProbLowT outside the first phaseHigh
+	// instructions of each period. Both are pure functions of count.
+	phasePeriod   uint64
+	phaseHigh     uint64
+	burstProbLowT uint64
+
+	// Attack encoder state (Attack != AttackNone only): a monotone
+	// cursor plus the precomputed address-geometry bit layout
+	// (see antagonist.go).
+	attackStep  uint64
+	atkChanBits uint
+	atkColBits  uint
+	atkBankBits uint
+	atkRankBits uint
+	atkBankMask uint64
+	atkChans    uint64
+	atkCols     uint64
+	atkRows     uint64
+	atkBank     uint64
+	atkRowBase  uint64
+
 	count uint64
 }
 
@@ -227,8 +283,18 @@ var (
 const regionLines = 1 << 22
 
 // NewGenerator returns a generator for the profile, seeded
-// deterministically from the profile name, thread id, and seed.
+// deterministically from the profile name, thread id, and seed, with
+// attack patterns (if any) targeting the paper's default Table 5
+// geometry.
 func NewGenerator(p Profile, thread int, seed uint64) (*Generator, error) {
+	return NewGeneratorGeom(p, thread, seed, DefaultGeom())
+}
+
+// NewGeneratorGeom is NewGenerator with an explicit DRAM address
+// geometry for the attack encoders. Profiles without an attack pattern
+// produce streams independent of the geometry, so NewGenerator remains
+// bit-identical to every earlier release for the SPEC suite.
+func NewGeneratorGeom(p Profile, thread int, seed uint64, geom Geom) (*Generator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -273,6 +339,15 @@ func NewGenerator(p Profile, thread int, seed uint64) (*Generator, error) {
 	g.storeFracT = thresh(p.StoreFrac)
 	g.fpFracT = thresh(p.FpFrac)
 	g.depFracT = thresh(p.DepFrac)
+	if p.PhasePeriod > 0 {
+		g.phasePeriod = p.PhasePeriod
+		g.phaseHigh = p.PhasePeriod * uint64(p.PhaseDutyPct) / 100
+		lo := p.PhaseLowMemFrac
+		g.burstProbLowT = thresh(lo / (float64(bl)*(1-lo) + lo))
+	}
+	if err := g.initAttack(geom); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
@@ -320,7 +395,11 @@ func (g *Generator) Next(ins *Instr) {
 		g.memInstr(ins, g.burstStream)
 		return
 	}
-	if g.r.draw() < g.burstProbT {
+	t := g.burstProbT
+	if g.phasePeriod != 0 && (g.count-1)%g.phasePeriod >= g.phaseHigh {
+		t = g.burstProbLowT
+	}
+	if g.r.draw() < t {
 		g.burstLeft = g.burstLen - 1
 		g.burstStream = -1
 		if g.burstLen > 1 && g.r.draw() < g.seqFracT {
@@ -360,6 +439,13 @@ func (g *Generator) memInstr(ins *Instr, stream int) {
 		ins.Kind = KindStore
 	} else {
 		ins.Kind = KindLoad
+	}
+	if g.p.Attack != AttackNone {
+		ins.Addr = g.attackAddr()
+		if ins.Kind == KindLoad {
+			g.lastLoadAgo = 0
+		}
+		return
 	}
 	x := g.r.draw()
 	if stream >= 0 {
